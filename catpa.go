@@ -1,0 +1,247 @@
+// Package catpa is a Go implementation of Criticality-Aware Task
+// Partitioning (CA-TPA) for multicore mixed-criticality systems,
+// reproducing Han, Tao, Zhu and Aydin, "Criticality-Aware Partitioning
+// for Multicore Mixed-Criticality Systems" (ICPP 2016).
+//
+// The package is a facade over the implementation packages:
+//
+//   - the Vestal-style mixed-criticality task model and the
+//     utilization-contribution algebra (internal/mc);
+//   - the EDF-VD uniprocessor schedulability analysis, from the simple
+//     utilization test to the multi-level Theorem-1 conditions with
+//     virtual-deadline reduction factors (internal/edfvd);
+//   - the partitioning heuristics WFD, FFD, BFD, Hybrid and CA-TPA
+//     (internal/partition);
+//   - the Section IV-A synthetic workload generator (internal/taskgen);
+//   - an event-driven runtime simulator of partitioned EDF-VD with AMC
+//     mode switching (internal/sim);
+//   - the experiment harness regenerating every figure of the paper's
+//     evaluation (internal/experiments).
+//
+// # Quick start
+//
+//	ts := catpa.NewTaskSet(
+//	    catpa.Task{Period: 100, Crit: 2, WCET: []float64{10, 25}},
+//	    catpa.Task{Period: 50, Crit: 1, WCET: []float64{15}},
+//	)
+//	res := catpa.Partition(ts, 2, 2, catpa.CATPA, nil)
+//	if res.Feasible {
+//	    fmt.Println(res) // per-core subsets, utilizations, lambdas
+//	}
+//
+// See the examples directory for complete programs.
+package catpa
+
+import (
+	"catpa/internal/edfvd"
+	"catpa/internal/experiments"
+	"catpa/internal/fpamc"
+	"catpa/internal/mc"
+	"catpa/internal/partition"
+	"catpa/internal/sim"
+	"catpa/internal/taskgen"
+)
+
+// Task model (internal/mc).
+type (
+	// Task is a periodic implicit-deadline mixed-criticality task:
+	// WCET[k-1] is the level-k worst-case execution time, Period the
+	// period and relative deadline, Crit the 1-based criticality level.
+	Task = mc.Task
+	// TaskSet is an ordered collection of tasks.
+	TaskSet = mc.TaskSet
+	// UtilMatrix carries the per-level utilization sums of a core's
+	// subset with O(K) incremental updates.
+	UtilMatrix = mc.UtilMatrix
+	// Contribution holds a task's utilization contributions (Eqs. 12-13).
+	Contribution = mc.Contribution
+)
+
+// NewTaskSet builds a task set, assigning sequential IDs to tasks
+// whose ID is zero.
+func NewTaskSet(tasks ...Task) *TaskSet { return mc.NewTaskSet(tasks...) }
+
+// NewUtilMatrix returns an empty utilization matrix for K levels.
+func NewUtilMatrix(k int) *UtilMatrix { return mc.NewUtilMatrix(k) }
+
+// Contributions computes every task's utilization contribution with
+// respect to the whole set (Eq. 12).
+func Contributions(ts *TaskSet) []Contribution { return mc.Contributions(ts) }
+
+// EDF-VD schedulability analysis (internal/edfvd).
+type (
+	// Report is the full Theorem-1 analysis of one core's subset.
+	Report = edfvd.Report
+)
+
+// Analyze runs the EDF-VD schedulability analysis on a core subset.
+func Analyze(m *UtilMatrix) *Report { return edfvd.Analyze(m) }
+
+// Feasible reports whether a core subset passes the EDF-VD test.
+func Feasible(m *UtilMatrix) bool { return edfvd.Feasible(m) }
+
+// SimpleFeasible is the pessimistic Eq. 4 test (plain EDF suffices).
+func SimpleFeasible(m *UtilMatrix) bool { return edfvd.SimpleFeasible(m) }
+
+// CoreUtil returns the Eq. 9 core utilization (+Inf if infeasible).
+func CoreUtil(m *UtilMatrix) float64 { return edfvd.CoreUtil(m) }
+
+// ClassicDualFeasible is the original dual-criticality EDF-VD test of
+// Baruah et al. (2012); strictly stronger than the paper's Eq. 7.
+func ClassicDualFeasible(m *UtilMatrix) bool { return edfvd.ClassicDualFeasible(m) }
+
+// Fixed-priority AMC scheduling (internal/fpamc).
+type (
+	// FPAnalysis is the AMC-rtb response-time analysis of one core.
+	FPAnalysis = fpamc.Analysis
+	// FPResponse holds one task's analyzed response-time bounds.
+	FPResponse = fpamc.Response
+)
+
+// FPAnalyze runs the dual-criticality AMC-rtb analysis on a subset.
+func FPAnalyze(tasks []Task) (*FPAnalysis, error) { return fpamc.Analyze(tasks) }
+
+// FPSchedulable reports whether a subset passes AMC-rtb.
+func FPSchedulable(tasks []Task) bool { return fpamc.Schedulable(tasks) }
+
+// FPPriorities returns the deadline-monotonic priority order.
+func FPPriorities(tasks []Task) []int { return fpamc.Priorities(tasks) }
+
+// FPPartition allocates a dual-criticality set under partitioned
+// fixed-priority AMC with the classical heuristics (WFD/FFD/BFD/Hybrid).
+func FPPartition(ts *TaskSet, m int, scheme Scheme) (*PartitionResult, error) {
+	return fpamc.Partition(ts, m, scheme)
+}
+
+// FPMultiAnalysis is the K-level generalization of the AMC-rtb
+// analysis (Fleming-Burns style).
+type FPMultiAnalysis = fpamc.MultiAnalysis
+
+// FPAnalyzeMulti runs the K-level AMC-rtb analysis on a subset.
+func FPAnalyzeMulti(tasks []Task, k int) (*FPMultiAnalysis, error) {
+	return fpamc.AnalyzeMulti(tasks, k)
+}
+
+// FPMultiSchedulable reports whether a subset passes the K-level
+// AMC-rtb analysis.
+func FPMultiSchedulable(tasks []Task, k int) bool { return fpamc.MultiSchedulable(tasks, k) }
+
+// Partitioning heuristics (internal/partition).
+type (
+	// Scheme identifies a partitioning heuristic.
+	Scheme = partition.Scheme
+	// PartitionOptions tunes a heuristic run (alpha threshold, trace,
+	// ablation switches).
+	PartitionOptions = partition.Options
+	// PartitionResult is the outcome of one partitioning run.
+	PartitionResult = partition.Result
+	// CoreInfo summarizes one core of a finished partition.
+	CoreInfo = partition.CoreInfo
+	// OrderPolicy selects the task ordering (ablation switch).
+	OrderPolicy = partition.OrderPolicy
+)
+
+// Task ordering policies for PartitionOptions.Order.
+const (
+	ContributionOrder = partition.ContributionOrder
+	MaxUtilOrder      = partition.MaxUtilOrder
+)
+
+// The five heuristics of the paper.
+const (
+	WFD    = partition.WFD
+	FFD    = partition.FFD
+	BFD    = partition.BFD
+	Hybrid = partition.Hybrid
+	CATPA  = partition.CATPA
+)
+
+// Schemes lists all heuristics in the paper's presentation order.
+var Schemes = partition.Schemes
+
+// Partition allocates ts onto m cores (k criticality levels) with the
+// given scheme; nil opts selects the paper's defaults.
+func Partition(ts *TaskSet, m, k int, scheme Scheme, opts *PartitionOptions) *PartitionResult {
+	return partition.Partition(ts, m, k, scheme, opts)
+}
+
+// ParseScheme maps a scheme name ("CA-TPA", "FFD", ...) to a Scheme.
+func ParseScheme(name string) (Scheme, error) { return partition.ParseScheme(name) }
+
+// Workload generation (internal/taskgen).
+type (
+	// GenConfig describes a synthetic workload family (Section IV-A).
+	GenConfig = taskgen.Config
+	// Range is a closed float interval.
+	Range = taskgen.Range
+	// IntRange is a closed integer interval.
+	IntRange = taskgen.IntRange
+)
+
+// DefaultGenConfig returns the paper's default workload parameters.
+func DefaultGenConfig() GenConfig { return taskgen.DefaultConfig() }
+
+// GenerateTaskSet produces the idx-th deterministic task set of the
+// family rooted at seed.
+func GenerateTaskSet(cfg *GenConfig, seed int64, idx int) *TaskSet {
+	return taskgen.GenerateIndexed(cfg, seed, idx)
+}
+
+// Runtime simulation (internal/sim).
+type (
+	// ExecModel decides how long each job actually executes.
+	ExecModel = sim.ExecModel
+	// NominalModel runs every job within its level-1 budget.
+	NominalModel = sim.NominalModel
+	// WorstCaseModel runs every job to its own-level WCET.
+	WorstCaseModel = sim.WorstCaseModel
+	// LevelModel runs every job to its level-k budget.
+	LevelModel = sim.LevelModel
+	// RandomModel draws demands randomly with sporadic overruns.
+	RandomModel = sim.RandomModel
+	// CoreConfig configures a single-core simulation.
+	CoreConfig = sim.CoreConfig
+	// CoreStats aggregates one simulated core.
+	CoreStats = sim.CoreStats
+	// SystemConfig configures a partitioned multicore simulation.
+	SystemConfig = sim.SystemConfig
+	// SystemStats aggregates a multicore simulation.
+	SystemStats = sim.SystemStats
+)
+
+// NewRandomModel returns a seeded randomized execution model.
+func NewRandomModel(minFraction, overrunProb float64, seed int64) *RandomModel {
+	return sim.NewRandomModel(minFraction, overrunProb, seed)
+}
+
+// SimulateCore runs one core under EDF-VD with AMC mode switching.
+func SimulateCore(cfg CoreConfig) *CoreStats { return sim.SimulateCore(cfg) }
+
+// SimulateSystem runs every core of a partitioned system.
+func SimulateSystem(cfg SystemConfig) *SystemStats { return sim.SimulateSystem(cfg) }
+
+// Experiments (internal/experiments).
+type (
+	// Sweep describes one figure-style experiment.
+	Sweep = experiments.Sweep
+	// SweepResult is a finished sweep.
+	SweepResult = experiments.Result
+	// ExpParams is one experimental parameter point.
+	ExpParams = experiments.Params
+	// Metric identifies one of the four sub-figure metrics.
+	Metric = experiments.Metric
+)
+
+// The four metrics of every figure.
+const (
+	SchedRatio = experiments.SchedRatio
+	Usys       = experiments.Usys
+	Uavg       = experiments.Uavg
+	Imbalance  = experiments.Imbalance
+)
+
+// Figure returns the sweep regenerating the given paper figure (1-5).
+func Figure(n, sets int, seed int64) *Sweep { return experiments.Figure(n, sets, seed) }
+
+// DefaultExpParams returns the paper's default parameter point.
+func DefaultExpParams() ExpParams { return experiments.DefaultParams() }

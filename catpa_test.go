@@ -1,0 +1,153 @@
+package catpa_test
+
+import (
+	"testing"
+
+	"catpa"
+)
+
+// TestFacadeEndToEnd walks the whole public API: generate, analyze,
+// partition, simulate.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := catpa.DefaultGenConfig()
+	cfg.M = 4
+	cfg.NSU = 0.45
+	cfg.N = catpa.IntRange{Lo: 20, Hi: 40}
+	ts := catpa.GenerateTaskSet(&cfg, 1, 0)
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := catpa.Partition(ts, cfg.M, cfg.K, catpa.CATPA, nil)
+	if !res.Feasible {
+		t.Fatal("CA-TPA infeasible on an easy set")
+	}
+	if err := res.Verify(ts); err != nil {
+		t.Fatal(err)
+	}
+
+	st := catpa.SimulateSystem(catpa.SystemConfig{
+		Subsets: res.Subsets(ts),
+		K:       cfg.K,
+		Horizon: 5000,
+	})
+	if st.Missed() != 0 {
+		t.Fatalf("%d deadline misses in worst-case simulation", st.Missed())
+	}
+}
+
+func TestFacadeHandBuiltSet(t *testing.T) {
+	ts := catpa.NewTaskSet(
+		catpa.Task{Period: 100, Crit: 2, WCET: []float64{10, 25}},
+		catpa.Task{Period: 50, Crit: 1, WCET: []float64{15}},
+	)
+	m := catpa.NewUtilMatrix(2)
+	for i := range ts.Tasks {
+		m.Add(&ts.Tasks[i])
+	}
+	if !catpa.SimpleFeasible(m) || !catpa.Feasible(m) {
+		t.Fatal("tiny set should be feasible")
+	}
+	rep := catpa.Analyze(m)
+	if rep.CoreUtil != catpa.CoreUtil(m) {
+		t.Error("Analyze and CoreUtil disagree")
+	}
+	cs := catpa.Contributions(ts)
+	if len(cs) != 2 {
+		t.Fatalf("contributions = %d", len(cs))
+	}
+}
+
+func TestFacadeSchemes(t *testing.T) {
+	if len(catpa.Schemes) != 5 {
+		t.Fatalf("schemes = %d", len(catpa.Schemes))
+	}
+	s, err := catpa.ParseScheme("CA-TPA")
+	if err != nil || s != catpa.CATPA {
+		t.Fatal("ParseScheme failed")
+	}
+}
+
+func TestFacadeFigure(t *testing.T) {
+	sw := catpa.Figure(1, 5, 1)
+	sw.Workers = 2
+	r := sw.Run()
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if ch := r.Chart(catpa.SchedRatio); len(ch.Series) != 5 {
+		t.Fatalf("series = %d", len(ch.Series))
+	}
+	p := catpa.DefaultExpParams()
+	if p.M != 8 {
+		t.Errorf("default M = %d", p.M)
+	}
+}
+
+func TestFacadeFP(t *testing.T) {
+	ts := catpa.NewTaskSet(
+		catpa.Task{Period: 10, Crit: 1, WCET: []float64{2}},
+		catpa.Task{Period: 25, Crit: 2, WCET: []float64{4, 9}},
+	)
+	a, err := catpa.FPAnalyze(ts.Tasks)
+	if err != nil || !a.Schedulable {
+		t.Fatalf("FPAnalyze: %v, schedulable=%v", err, a != nil && a.Schedulable)
+	}
+	if !catpa.FPSchedulable(ts.Tasks) {
+		t.Error("FPSchedulable disagrees")
+	}
+	if !catpa.FPMultiSchedulable(ts.Tasks, 2) {
+		t.Error("FPMultiSchedulable disagrees")
+	}
+	ma, err := catpa.FPAnalyzeMulti(ts.Tasks, 2)
+	if err != nil || !ma.Schedulable {
+		t.Fatal("FPAnalyzeMulti failed")
+	}
+	prio := catpa.FPPriorities(ts.Tasks)
+	if len(prio) != 2 || prio[0] != 0 {
+		t.Errorf("priorities = %v", prio)
+	}
+	r, err := catpa.FPPartition(ts, 2, catpa.FFD)
+	if err != nil || !r.Feasible {
+		t.Fatal("FPPartition failed")
+	}
+	st := catpa.SimulateCore(catpa.CoreConfig{
+		Tasks: ts.Tasks, K: 2, Horizon: 500,
+		Model:         catpa.WorstCaseModel{},
+		FixedPriority: true, Priorities: prio,
+		BackgroundLO: true,
+	})
+	if st.Missed != 0 {
+		t.Errorf("missed = %d", st.Missed)
+	}
+}
+
+func TestFacadeClassicDual(t *testing.T) {
+	m := catpa.NewUtilMatrix(2)
+	tk := catpa.Task{ID: 1, Period: 10, Crit: 2, WCET: []float64{2, 9}}
+	m.Add(&tk)
+	if !catpa.ClassicDualFeasible(m) {
+		t.Error("single HI task rejected by classic test")
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	tk := catpa.Task{ID: 1, Period: 10, Crit: 2, WCET: []float64{2, 6}}
+	var m catpa.ExecModel = catpa.WorstCaseModel{}
+	if m.ExecTime(&tk, 0) != 6 {
+		t.Error("WorstCaseModel via facade")
+	}
+	m = catpa.NewRandomModel(0.5, 0, 7)
+	if v := m.ExecTime(&tk, 0); v <= 0 {
+		t.Error("RandomModel via facade")
+	}
+	st := catpa.SimulateCore(catpa.CoreConfig{
+		Tasks:   []catpa.Task{tk},
+		K:       2,
+		Horizon: 100,
+		Model:   catpa.LevelModel{Level: 1},
+	})
+	if st.Missed != 0 {
+		t.Error("misses in trivial sim")
+	}
+}

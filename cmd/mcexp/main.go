@@ -1,0 +1,110 @@
+// Command mcexp regenerates the evaluation figures of Han et al.
+// (ICPP 2016): five partitioning schemes compared on schedulability
+// ratio, system utilization, average core utilization and workload
+// imbalance, across the five parameter sweeps of Figures 1-5.
+//
+// Usage:
+//
+//	mcexp -figure 1 -sets 2000              # one figure, text tables
+//	mcexp -figure all -sets 2000 -plot      # all figures with ASCII plots
+//	mcexp -figure 4 -csv -out results/      # CSV files per metric
+//
+// The paper averages 50,000 task sets per point; -sets trades accuracy
+// for time (the ratios carry 95% confidence intervals of about
+// ±1.96*sqrt(p(1-p)/sets)).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"catpa"
+	"catpa/internal/experiments"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "figure number 1..5 or 'all'")
+		sets    = flag.Int("sets", 2000, "task sets per data point")
+		seed    = flag.Int64("seed", 2016, "base seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		plot    = flag.Bool("plot", false, "render ASCII plots in addition to tables")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
+		out     = flag.String("out", "", "directory for CSV output (default stdout)")
+	)
+	flag.Parse()
+
+	var figs []int
+	if *figure == "all" {
+		figs = experiments.Figures
+	} else {
+		var n int
+		if _, err := fmt.Sscanf(*figure, "%d", &n); err != nil || n < 1 || n > 5 {
+			fatal(fmt.Errorf("invalid -figure %q", *figure))
+		}
+		figs = []int{n}
+	}
+
+	for _, n := range figs {
+		sw := catpa.Figure(n, *sets, *seed)
+		sw.Workers = *workers
+		start := time.Now()
+		res := sw.Run()
+		fmt.Fprintf(os.Stderr, "%s: %d sets/point x %d points x 5 schemes in %v\n",
+			sw.Name, *sets, len(sw.Values), time.Since(start).Round(time.Millisecond))
+		for _, ch := range res.Charts() {
+			switch {
+			case *csv && *out != "":
+				if err := os.MkdirAll(*out, 0o755); err != nil {
+					fatal(err)
+				}
+				name := filepath.Join(*out, fmt.Sprintf("%s-%s.csv", sw.Name, slug(ch.Title)))
+				if err := os.WriteFile(name, []byte(ch.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", name)
+			case *csv:
+				fmt.Print(ch.CSV())
+				fmt.Println()
+			default:
+				fmt.Print(ch.Table())
+				if *plot {
+					fmt.Print(ch.Plot(14))
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+// slug extracts a short file-name fragment from a chart title.
+func slug(title string) string {
+	switch {
+	case contains(title, "(a)"):
+		return "a-sched-ratio"
+	case contains(title, "(b)"):
+		return "b-usys"
+	case contains(title, "(c)"):
+		return "c-uavg"
+	case contains(title, "(d)"):
+		return "d-imbalance"
+	}
+	return "metric"
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Quickstart: build a small dual-criticality task set, check per-core
+// schedulability, partition it with CA-TPA and execute the partition
+// in the worst-case runtime simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"catpa"
+)
+
+func main() {
+	// A hand-built dual-criticality workload. WCET[0] is the
+	// low-criticality budget, WCET[1] the certified high-criticality
+	// budget (HI tasks only).
+	ts := catpa.NewTaskSet(
+		catpa.Task{Name: "sensor_fusion", Period: 50, Crit: 2, WCET: []float64{8, 20}},
+		catpa.Task{Name: "flight_ctl", Period: 20, Crit: 2, WCET: []float64{3, 7}},
+		catpa.Task{Name: "telemetry", Period: 100, Crit: 1, WCET: []float64{30}},
+		catpa.Task{Name: "logging", Period: 200, Crit: 1, WCET: []float64{70}},
+		catpa.Task{Name: "display", Period: 25, Crit: 1, WCET: []float64{6}},
+	)
+	if err := ts.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("task set:", ts)
+
+	// Inspect the whole set as if it ran on one core: the EDF-VD
+	// analysis exposes the Theorem-1 conditions.
+	m := catpa.NewUtilMatrix(2)
+	for i := range ts.Tasks {
+		m.Add(&ts.Tasks[i])
+	}
+	rep := catpa.Analyze(m)
+	fmt.Printf("single core: feasible=%v coreUtil=%.3f lambda2=%.3f\n",
+		rep.Feasible(), rep.CoreUtil, rep.Lambda[1])
+
+	// Partition onto two cores with CA-TPA, tracing each decision.
+	res := catpa.Partition(ts, 2, 2, catpa.CATPA, &catpa.PartitionOptions{Trace: true})
+	fmt.Println(res)
+	fmt.Print(res.FormatTrace(ts))
+	if !res.Feasible {
+		log.Fatal("no feasible partition")
+	}
+	for c, ci := range res.Cores {
+		fmt.Printf("P%d (U=%.3f):", c+1, ci.Util)
+		for _, ti := range ci.Tasks {
+			fmt.Printf(" %s", ts.Tasks[ti].Label())
+		}
+		fmt.Println()
+	}
+
+	// Execute the partition adversarially: every job runs to its
+	// own-level WCET, forcing mode switches. The analysis guarantees
+	// zero deadline misses of non-dropped jobs.
+	stats := catpa.SimulateSystem(catpa.SystemConfig{
+		Subsets: res.Subsets(ts),
+		K:       2,
+		Horizon: 10000,
+	})
+	fmt.Print(stats)
+	fmt.Printf("worst-case run: %d completed, %d missed, %d mode switches\n",
+		stats.Completed(), stats.Missed(), stats.ModeSwitches())
+}

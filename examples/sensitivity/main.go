@@ -1,0 +1,37 @@
+// Sensitivity: a miniature version of the paper's Figure 1 run
+// through the public API — how the schedulability ratio of each
+// heuristic degrades as the normalized system utilization grows, with
+// ASCII plots. Increase -sets for smoother curves (the paper uses
+// 50,000 per point).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+import "catpa"
+
+func main() {
+	sets := flag.Int("sets", 500, "task sets per data point")
+	flag.Parse()
+
+	sw := catpa.Figure(1, *sets, 2016)
+	start := time.Now()
+	res := sw.Run()
+	fmt.Printf("figure 1 with %d sets/point in %v\n\n", *sets, time.Since(start).Round(time.Millisecond))
+
+	ratio := res.Chart(catpa.SchedRatio)
+	fmt.Print(ratio.Table())
+	fmt.Println()
+	fmt.Print(ratio.Plot(14))
+
+	// Where does CA-TPA gain the most? Compare against FFD per point.
+	fmt.Println("\nCA-TPA advantage over FFD (percentage points):")
+	for pi, x := range sw.Values {
+		ca := res.Value(pi, 4, catpa.SchedRatio)  // CA-TPA is scheme index 4
+		ffd := res.Value(pi, 1, catpa.SchedRatio) // FFD is scheme index 1
+		fmt.Printf("  NSU=%.1f: %+.1f pp\n", x, (ca-ffd)*100)
+	}
+}

@@ -1,0 +1,3 @@
+module catpa
+
+go 1.22

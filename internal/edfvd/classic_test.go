@@ -1,0 +1,104 @@
+package edfvd
+
+import (
+	"math/rand"
+	"testing"
+
+	"catpa/internal/mc"
+)
+
+func TestClassicDualPlainEDFCase(t *testing.T) {
+	m := matrixOf(2,
+		mkTask(1, 10, 1, 4),    // U_1(1)=0.4
+		mkTask(2, 10, 2, 1, 5), // U_2(2)=0.5
+	)
+	if !ClassicDualFeasible(m) {
+		t.Error("plain-EDF case rejected")
+	}
+}
+
+// TestClassicAcceptsBeyondEq7 uses the worked counter-instance from
+// the design discussion: U_1(1)=0.375, U_2(1)=0.375, U_2(2)=0.75.
+// Eq. 7 gives 0.375 + min{0.75, 1.5} = 1.125 > 1 (reject), while the
+// classic interval [0.6, 0.667] is non-empty (accept).
+func TestClassicAcceptsBeyondEq7(t *testing.T) {
+	m := matrixOf(2,
+		mkTask(1, 1000, 1, 375),
+		mkTask(2, 1000, 2, 375, 750),
+	)
+	if DualFeasible(m) {
+		t.Fatal("Eq. 7 unexpectedly accepts the instance")
+	}
+	if !ClassicDualFeasible(m) {
+		t.Fatal("classic test rejects a schedulable instance")
+	}
+}
+
+func TestClassicRejectsOverload(t *testing.T) {
+	m := matrixOf(2,
+		mkTask(1, 10, 1, 6),
+		mkTask(2, 10, 2, 3, 9),
+	)
+	if ClassicDualFeasible(m) {
+		t.Error("overloaded subset accepted")
+	}
+}
+
+func TestClassicPanicsOnWrongK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for K=3")
+		}
+	}()
+	ClassicDualFeasible(mc.NewUtilMatrix(3))
+}
+
+// TestEq7ImpliesClassic: property — every Eq. 7-feasible subset passes
+// the classic test (proof sketch: the fraction branch of Eq. 7 gives
+// U_2(1) <= (1-U_1(1))(1-U_2(2)), which makes the x interval
+// non-empty).
+func TestEq7ImpliesClassic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	violations := 0
+	for trial := 0; trial < 3000; trial++ {
+		m := randomMatrix(rng, 2, 0.3+rng.Float64()*1.2)
+		if DualFeasible(m) && !ClassicDualFeasible(m) {
+			violations++
+			t.Errorf("trial %d: Eq.7 accepts but classic rejects: %v", trial, m)
+			if violations > 3 {
+				t.FailNow()
+			}
+		}
+	}
+}
+
+// TestClassicStrictlyStronger: across a random population the classic
+// test must accept strictly more subsets than Eq. 7 somewhere near
+// the boundary.
+func TestClassicStrictlyStronger(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	extra := 0
+	for trial := 0; trial < 3000; trial++ {
+		m := randomMatrix(rng, 2, 0.8+rng.Float64()*0.5)
+		if !DualFeasible(m) && ClassicDualFeasible(m) {
+			extra++
+		}
+	}
+	if extra == 0 {
+		t.Error("classic test never accepted beyond Eq. 7 — implementation suspect")
+	}
+	t.Logf("classic-only acceptances: %d / 3000", extra)
+}
+
+func TestClassicEdgeU11Zero(t *testing.T) {
+	// Only HI tasks: feasible iff U_2(2) <= 1 (x interval endpoint is
+	// infinite).
+	m := matrixOf(2, mkTask(1, 10, 2, 2, 9))
+	if !ClassicDualFeasible(m) {
+		t.Error("single HI task with U_2(2)=0.9 rejected")
+	}
+	m2 := matrixOf(2, mkTask(1, 10, 2, 2, 9), mkTask(2, 10, 2, 2, 9))
+	if ClassicDualFeasible(m2) {
+		t.Error("U_2(2)=1.8 accepted")
+	}
+}

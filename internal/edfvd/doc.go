@@ -1,0 +1,20 @@
+// Package edfvd implements the uniprocessor schedulability analysis of
+// the EDF-VD (EDF with Virtual Deadlines) scheduler for mixed-criticality
+// task systems, as used by Han et al. (ICPP 2016):
+//
+//   - the pessimistic sufficient condition sum_k U_k(k) <= 1 (Eq. 4),
+//     under which plain EDF suffices;
+//   - the virtual-deadline reduction factors lambda_j of Baruah et al.
+//     (ESA 2011), Eq. 6;
+//   - the improved multi-level sufficient conditions of Theorem 1
+//     (Eq. 5), one condition per level k = 1..K-1, of which at least one
+//     must hold;
+//   - the dual-criticality specialization (Eq. 7);
+//   - the derived quantities: available utilization A(k) = theta(k) -
+//     mu(k) (Eq. 8) and the core utilization U^Psi (Eq. 9) that CA-TPA
+//     minimizes when placing tasks.
+//
+// All functions operate on an mc.UtilMatrix, the per-core incremental
+// utilization accounting structure, so that the probe loop of CA-TPA
+// costs O(K^2) per (task, core) pair.
+package edfvd

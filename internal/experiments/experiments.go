@@ -1,0 +1,257 @@
+// Package experiments is the evaluation harness that regenerates every
+// figure of Han et al. (ICPP 2016), Section IV: parameter sweeps over
+// synthetic task-set populations, comparing the five partitioning
+// schemes on four metrics:
+//
+//	(a) schedulability ratio,
+//	(b) system utilization U_sys        (schedulable sets only),
+//	(c) average core utilization U_avg  (schedulable sets only),
+//	(d) workload imbalance factor       (schedulable sets only).
+//
+// Each data point aggregates Sets independently generated task sets;
+// all schemes are evaluated on the same sets (paired comparison, as in
+// the paper). Generation is deterministic in (Seed, point, set index),
+// so results are reproducible and independent of the worker count for
+// the schedulability ratio (exact counts) and reproducible for a fixed
+// worker count for the mean metrics.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"catpa/internal/partition"
+	"catpa/internal/stats"
+	"catpa/internal/taskgen"
+	"catpa/internal/textplot"
+)
+
+// Params is one experimental parameter point (the paper's defaults
+// plus the value under study).
+type Params struct {
+	M     int
+	K     int
+	NSU   float64
+	Alpha float64
+	IFC   taskgen.Range
+	N     taskgen.IntRange
+}
+
+// DefaultParams returns the paper's default point: M=8, K=4, NSU=0.6,
+// alpha=0.7, IFC=0.4, N ~ U[40,200].
+func DefaultParams() Params {
+	return Params{
+		M:     8,
+		K:     4,
+		NSU:   0.6,
+		Alpha: partition.DefaultAlpha,
+		IFC:   taskgen.Range{Lo: 0.4, Hi: 0.4},
+		N:     taskgen.IntRange{Lo: 40, Hi: 200},
+	}
+}
+
+// genConfig converts the point to a generator configuration.
+func (p Params) genConfig() taskgen.Config {
+	cfg := taskgen.DefaultConfig()
+	cfg.M = p.M
+	cfg.K = p.K
+	cfg.NSU = p.NSU
+	cfg.IFC = p.IFC
+	cfg.N = p.N
+	return cfg
+}
+
+// Sweep describes one figure: a parameter axis and the population per
+// point.
+type Sweep struct {
+	// Name identifies the experiment ("fig1".."fig5").
+	Name string
+	// Title is the figure caption.
+	Title string
+	// Param is the varied parameter's axis label.
+	Param string
+	// Values is the X axis.
+	Values []float64
+	// Apply installs one X value into a parameter point.
+	Apply func(*Params, float64)
+	// Sets is the number of task sets per point (the paper uses
+	// 50,000; the CLI default is lower for turnaround).
+	Sets int
+	// Seed roots the deterministic generation.
+	Seed int64
+	// Workers bounds the worker pool; 0 selects GOMAXPROCS.
+	Workers int
+	// Schemes lists the heuristics to compare; nil selects all five.
+	Schemes []partition.Scheme
+}
+
+// Cell aggregates one (point, scheme) cell of a sweep.
+type Cell struct {
+	Sched stats.Ratio
+	Usys  stats.Mean
+	Uavg  stats.Mean
+	Imb   stats.Mean
+}
+
+func (c *Cell) merge(o *Cell) {
+	c.Sched.Merge(&o.Sched)
+	c.Usys.Merge(&o.Usys)
+	c.Uavg.Merge(&o.Uavg)
+	c.Imb.Merge(&o.Imb)
+}
+
+// Point is one X value's results across schemes (indexed like the
+// sweep's scheme list).
+type Point struct {
+	X     float64
+	Cells []Cell
+}
+
+// Result is a finished sweep.
+type Result struct {
+	Sweep  *Sweep
+	Points []Point
+}
+
+// Run executes the sweep.
+func (s *Sweep) Run() *Result {
+	schemes := s.Schemes
+	if len(schemes) == 0 {
+		schemes = partition.Schemes
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{Sweep: s, Points: make([]Point, len(s.Values))}
+	for pi, x := range s.Values {
+		res.Points[pi] = s.runPoint(x, schemes, workers)
+	}
+	return res
+}
+
+// runPoint evaluates one X value: Sets task sets, each partitioned by
+// every scheme.
+func (s *Sweep) runPoint(x float64, schemes []partition.Scheme, workers int) Point {
+	params := DefaultParams()
+	if s.Apply != nil {
+		s.Apply(&params, x)
+	}
+	cfg := params.genConfig()
+	// All points share the seed stream: points whose generator config
+	// coincides (e.g. the alpha sweep, which only changes a heuristic
+	// knob) then evaluate literally identical task-set populations,
+	// reproducing the paper's flat baseline curves in Fig. 3 exactly.
+	pointSeed := s.Seed
+
+	// Each worker accumulates a private cell row over its stripe of
+	// set indices, then rows are merged in worker order.
+	rows := make([][]Cell, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rows[w] = make([]Cell, len(schemes))
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			opts := partition.Options{Alpha: params.Alpha}
+			for set := w; set < s.Sets; set += workers {
+				ts := taskgen.GenerateIndexed(&cfg, pointSeed, set)
+				for si, scheme := range schemes {
+					r := partition.Partition(ts, params.M, params.K, scheme, &opts)
+					cell := &rows[w][si]
+					cell.Sched.Add(r.Feasible)
+					if r.Feasible {
+						cell.Usys.Add(r.Usys)
+						cell.Uavg.Add(r.Uavg)
+						cell.Imb.Add(r.Imbalance)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	p := Point{X: x, Cells: make([]Cell, len(schemes))}
+	for w := 0; w < workers; w++ {
+		for si := range schemes {
+			p.Cells[si].merge(&rows[w][si])
+		}
+	}
+	return p
+}
+
+// Metric identifies one of the four sub-figures.
+type Metric int
+
+// The four metrics of every figure.
+const (
+	SchedRatio Metric = iota
+	Usys
+	Uavg
+	Imbalance
+)
+
+// MetricNames maps metrics to sub-figure letters and captions.
+var MetricNames = map[Metric]string{
+	SchedRatio: "(a) schedulability ratio",
+	Usys:       "(b) system utilization U_sys",
+	Uavg:       "(c) average core utilization U_avg",
+	Imbalance:  "(d) workload imbalance factor",
+}
+
+// Metrics lists the four metrics in sub-figure order.
+var Metrics = []Metric{SchedRatio, Usys, Uavg, Imbalance}
+
+// value extracts a metric from a cell.
+func (c *Cell) value(m Metric) float64 {
+	switch m {
+	case SchedRatio:
+		return c.Sched.Value()
+	case Usys:
+		return c.Usys.Mean()
+	case Uavg:
+		return c.Uavg.Mean()
+	case Imbalance:
+		return c.Imb.Mean()
+	default:
+		panic(fmt.Sprintf("experiments: unknown metric %d", m))
+	}
+}
+
+// Chart converts one metric of the result into a textplot chart.
+func (r *Result) Chart(m Metric) *textplot.Chart {
+	schemes := r.Sweep.Schemes
+	if len(schemes) == 0 {
+		schemes = partition.Schemes
+	}
+	ch := &textplot.Chart{
+		Title:  fmt.Sprintf("%s %s", r.Sweep.Title, MetricNames[m]),
+		XLabel: r.Sweep.Param,
+		YLabel: MetricNames[m],
+		X:      r.Sweep.Values,
+	}
+	for si, scheme := range schemes {
+		series := textplot.Series{Label: scheme.String(), Y: make([]float64, len(r.Points))}
+		for pi := range r.Points {
+			series.Y[pi] = r.Points[pi].Cells[si].value(m)
+		}
+		ch.Series = append(ch.Series, series)
+	}
+	return ch
+}
+
+// Charts returns all four sub-figures.
+func (r *Result) Charts() []*textplot.Chart {
+	out := make([]*textplot.Chart, 0, len(Metrics))
+	for _, m := range Metrics {
+		out = append(out, r.Chart(m))
+	}
+	return out
+}
+
+// Value returns the metric for (point index, scheme index); a typed
+// accessor for tests and reports.
+func (r *Result) Value(pi, si int, m Metric) float64 {
+	return r.Points[pi].Cells[si].value(m)
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"catpa/internal/partition"
+	"catpa/internal/taskgen"
+)
+
+// smallSweep returns a fast two-point sweep for tests.
+func smallSweep(sets, workers int) *Sweep {
+	return &Sweep{
+		Name:    "test",
+		Title:   "test sweep",
+		Param:   "NSU",
+		Values:  []float64{0.4, 0.7},
+		Apply:   func(p *Params, x float64) { p.NSU = x },
+		Sets:    sets,
+		Seed:    1,
+		Workers: workers,
+		Schemes: partition.Schemes,
+	}
+}
+
+func shrink(p *Params) {
+	p.M = 4
+	p.N = taskgen.IntRange{Lo: 20, Hi: 40}
+	p.K = 3
+}
+
+func TestSweepRunShape(t *testing.T) {
+	s := smallSweep(60, 2)
+	base := s.Apply
+	s.Apply = func(p *Params, x float64) { shrink(p); base(p, x) }
+	r := s.Run()
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for pi, p := range r.Points {
+		if len(p.Cells) != len(partition.Schemes) {
+			t.Fatalf("point %d: cells = %d", pi, len(p.Cells))
+		}
+		for si, c := range p.Cells {
+			if c.Sched.N() != 60 {
+				t.Errorf("point %d scheme %d: n = %d, want 60", pi, si, c.Sched.N())
+			}
+		}
+	}
+}
+
+// TestSchedRatioFallsWithNSU: the headline monotone trend — higher
+// load means lower acceptance for every scheme.
+func TestSchedRatioFallsWithNSU(t *testing.T) {
+	s := &Sweep{
+		Param:  "NSU",
+		Values: []float64{0.4, 0.8},
+		Apply: func(p *Params, x float64) {
+			shrink(p)
+			p.NSU = x
+		},
+		Sets:    150,
+		Seed:    7,
+		Workers: 2,
+	}
+	r := s.Run()
+	for si := range partition.Schemes {
+		lo := r.Value(0, si, SchedRatio)
+		hi := r.Value(1, si, SchedRatio)
+		if hi > lo {
+			t.Errorf("scheme %v: ratio rose with load (%.3f -> %.3f)", partition.Schemes[si], lo, hi)
+		}
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts: the schedulability counts are
+// exact and must not depend on parallelism.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := smallSweep(40, 1)
+	b := smallSweep(40, 4)
+	wrap := func(s *Sweep) {
+		base := s.Apply
+		s.Apply = func(p *Params, x float64) { shrink(p); base(p, x) }
+	}
+	wrap(a)
+	wrap(b)
+	ra, rb := a.Run(), b.Run()
+	for pi := range ra.Points {
+		for si := range ra.Points[pi].Cells {
+			ha := ra.Points[pi].Cells[si].Sched.Hits()
+			hb := rb.Points[pi].Cells[si].Sched.Hits()
+			if ha != hb {
+				t.Errorf("point %d scheme %d: hits %d != %d across worker counts", pi, si, ha, hb)
+			}
+		}
+	}
+}
+
+func TestChartsRender(t *testing.T) {
+	s := smallSweep(20, 2)
+	base := s.Apply
+	s.Apply = func(p *Params, x float64) { shrink(p); base(p, x) }
+	r := s.Run()
+	charts := r.Charts()
+	if len(charts) != 4 {
+		t.Fatalf("charts = %d", len(charts))
+	}
+	for _, ch := range charts {
+		tbl := ch.Table()
+		if !strings.Contains(tbl, "CA-TPA") {
+			t.Errorf("chart table missing CA-TPA:\n%s", tbl)
+		}
+		if ch.CSV() == "" || ch.Plot(8) == "" {
+			t.Error("empty CSV or plot")
+		}
+	}
+}
+
+func TestFigureDefinitions(t *testing.T) {
+	for _, n := range Figures {
+		s := Figure(n, 10, 1)
+		if len(s.Values) != 5 {
+			t.Errorf("figure %d has %d values", n, len(s.Values))
+		}
+		if s.Apply == nil || s.Name == "" || s.Param == "" {
+			t.Errorf("figure %d incomplete", n)
+		}
+		// Apply must install the value without panicking.
+		p := DefaultParams()
+		s.Apply(&p, s.Values[0])
+	}
+}
+
+func TestFigurePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Figure(9, 10, 1)
+}
+
+func TestFigureApplyEffects(t *testing.T) {
+	cases := []struct {
+		fig   int
+		check func(p Params, x float64) bool
+	}{
+		{1, func(p Params, x float64) bool { return p.NSU == x }},
+		{2, func(p Params, x float64) bool { return p.IFC.Lo == x && p.IFC.Hi == x }},
+		{3, func(p Params, x float64) bool { return p.Alpha == x }},
+		{4, func(p Params, x float64) bool { return p.M == int(x) }},
+		{5, func(p Params, x float64) bool { return p.K == int(x) }},
+	}
+	for _, c := range cases {
+		s := Figure(c.fig, 1, 1)
+		p := DefaultParams()
+		x := s.Values[len(s.Values)-1]
+		s.Apply(&p, x)
+		if !c.check(p, x) {
+			t.Errorf("figure %d: Apply did not install %v (params %+v)", c.fig, x, p)
+		}
+	}
+}
+
+// TestAlphaOnlyAffectsCATPA: in a fig-3-style sweep, baseline scheme
+// results are identical across alpha points (same seeds, alpha unused).
+func TestAlphaOnlyAffectsCATPA(t *testing.T) {
+	s := &Sweep{
+		Param:  "alpha",
+		Values: []float64{0.1, 0.5},
+		Apply: func(p *Params, x float64) {
+			shrink(p)
+			p.Alpha = x
+			p.NSU = 0.65
+		},
+		Sets:    80,
+		Seed:    3,
+		Workers: 2,
+	}
+	r := s.Run()
+	for si, scheme := range partition.Schemes {
+		if scheme == partition.CATPA {
+			continue
+		}
+		h0 := r.Points[0].Cells[si].Sched.Hits()
+		h1 := r.Points[1].Cells[si].Sched.Hits()
+		if h0 != h1 {
+			t.Errorf("%v: hits differ across alpha (%d vs %d)", scheme, h0, h1)
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.M != 8 || p.K != 4 || p.NSU != 0.6 || p.Alpha != 0.7 {
+		t.Errorf("unexpected defaults: %+v", p)
+	}
+	cfg := p.genConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCellValuePanicsOnUnknownMetric(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var c Cell
+	c.value(Metric(42))
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"catpa/internal/taskgen"
+)
+
+// Figure returns the sweep definition reproducing the given figure of
+// the paper (1..5), with the requested population size per point and
+// seed. Panics on an unknown figure number.
+//
+//	Fig. 1: varying normalized system utilization NSU
+//	Fig. 2: varying WCET increment factor IFC
+//	Fig. 3: varying imbalance threshold alpha (CA-TPA only reacts)
+//	Fig. 4: varying core count M
+//	Fig. 5: varying criticality levels K
+func Figure(n, sets int, seed int64) *Sweep {
+	s := &Sweep{Sets: sets, Seed: seed}
+	switch n {
+	case 1:
+		s.Name, s.Title, s.Param = "fig1", "Fig. 1: varying NSU", "NSU"
+		s.Values = []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+		s.Apply = func(p *Params, x float64) { p.NSU = x }
+	case 2:
+		s.Name, s.Title, s.Param = "fig2", "Fig. 2: varying IFC", "IFC"
+		s.Values = []float64{0.3, 0.4, 0.5, 0.6, 0.7}
+		s.Apply = func(p *Params, x float64) { p.IFC = taskgen.Range{Lo: x, Hi: x} }
+	case 3:
+		s.Name, s.Title, s.Param = "fig3", "Fig. 3: varying alpha", "alpha"
+		s.Values = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+		s.Apply = func(p *Params, x float64) { p.Alpha = x }
+	case 4:
+		s.Name, s.Title, s.Param = "fig4", "Fig. 4: varying M", "M"
+		s.Values = []float64{2, 4, 8, 16, 32}
+		s.Apply = func(p *Params, x float64) { p.M = int(x) }
+	case 5:
+		s.Name, s.Title, s.Param = "fig5", "Fig. 5: varying K", "K"
+		s.Values = []float64{2, 3, 4, 5, 6}
+		s.Apply = func(p *Params, x float64) { p.K = int(x) }
+	default:
+		panic(fmt.Sprintf("experiments: unknown figure %d", n))
+	}
+	return s
+}
+
+// Figures lists the valid figure numbers.
+var Figures = []int{1, 2, 3, 4, 5}

@@ -1,0 +1,122 @@
+package fpamc
+
+import (
+	"fmt"
+	"math"
+
+	"catpa/internal/mc"
+)
+
+// MultiResponse holds the per-level AMC-rtb bounds of one task in a
+// K-level system.
+type MultiResponse struct {
+	// PerLevel[k-1] is the response-time bound R_i(k) when the system
+	// rises to level k while the job is in flight, for k = 1..l_i
+	// (levels above the task's criticality are not applicable: the
+	// task is dropped). PerLevel[0] is the all-nominal bound.
+	PerLevel []float64
+	// Schedulable reports whether every applicable bound is within
+	// the task's deadline.
+	Schedulable bool
+}
+
+// MultiAnalysis is the K-level AMC-rtb result for one core's subset.
+type MultiAnalysis struct {
+	// K is the number of criticality levels analyzed.
+	K int
+	// Priority is the deadline-monotonic order.
+	Priority []int
+	// ByTask maps each task index to its per-level bounds.
+	ByTask []MultiResponse
+	// Schedulable reports whether the whole subset passes.
+	Schedulable bool
+}
+
+// AnalyzeMulti generalizes the AMC-rtb analysis to K criticality
+// levels, in the style of Fleming and Burns ("Extending mixed
+// criticality scheduling"): for a task tau_i of criticality l_i and
+// each level k <= l_i, the bound solves
+//
+//	R_i(k) = C_i(k) + sum_{j in hp(i), l_j >= k} ceil(R_i(k)/T_j) C_j(k)
+//	              + sum_{j in hp(i), l_j <  k} ceil(R_i(l_j)/T_j) C_j(l_j)
+//
+// — higher-criticality interference at level-k budgets over the whole
+// window, lower-criticality interference frozen at the response bound
+// of the level at which the interfering task is dropped. For K = 2
+// this reduces exactly to the dual-criticality AMC-rtb of Analyze
+// (R(1) = LO, R(2) = Transition); the tests verify the reduction.
+func AnalyzeMulti(tasks []mc.Task, k int) (*MultiAnalysis, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("fpamc: invalid level count %d", k)
+	}
+	for i := range tasks {
+		if tasks[i].Crit < 1 || tasks[i].Crit > k {
+			return nil, fmt.Errorf("fpamc: task %d criticality %d outside 1..%d", tasks[i].ID, tasks[i].Crit, k)
+		}
+	}
+	a := &MultiAnalysis{
+		K:           k,
+		Priority:    Priorities(tasks),
+		ByTask:      make([]MultiResponse, len(tasks)),
+		Schedulable: true,
+	}
+	rank := make([]int, len(tasks))
+	for pos, ti := range a.Priority {
+		rank[ti] = pos
+	}
+	for ti := range tasks {
+		r := analyzeMultiTask(tasks, rank, ti, k)
+		a.ByTask[ti] = r
+		if !r.Schedulable {
+			a.Schedulable = false
+		}
+	}
+	return a, nil
+}
+
+// MultiSchedulable is the verdict-only wrapper.
+func MultiSchedulable(tasks []mc.Task, k int) bool {
+	a, err := AnalyzeMulti(tasks, k)
+	return err == nil && a.Schedulable
+}
+
+func analyzeMultiTask(tasks []mc.Task, rank []int, ti, k int) MultiResponse {
+	t := &tasks[ti]
+	deadline := t.Period
+	resp := MultiResponse{
+		PerLevel:    make([]float64, t.Crit),
+		Schedulable: true,
+	}
+	for lvl := 1; lvl <= t.Crit; lvl++ {
+		r := fixedPoint(t.C(lvl), deadline, func(r float64) float64 {
+			demand := t.C(lvl)
+			for j := range tasks {
+				if j == ti || rank[j] >= rank[ti] {
+					continue
+				}
+				tj := &tasks[j]
+				if tj.Crit >= lvl {
+					demand += math.Ceil((r-Eps)/tj.Period) * tj.C(lvl)
+				} else {
+					// tau_j was dropped when the system passed its
+					// own level; its interference is frozen at tau_i's
+					// bound for that level.
+					frozen := resp.PerLevel[tj.Crit-1]
+					demand += math.Ceil((frozen-Eps)/tj.Period) * tj.C(tj.Crit)
+				}
+			}
+			return demand
+		})
+		resp.PerLevel[lvl-1] = r
+		if r > deadline+Eps {
+			resp.Schedulable = false
+			// Higher levels depend on this bound; stop (the subset is
+			// already rejected).
+			for rest := lvl + 1; rest <= t.Crit; rest++ {
+				resp.PerLevel[rest-1] = math.Inf(1)
+			}
+			break
+		}
+	}
+	return resp
+}

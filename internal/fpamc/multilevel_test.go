@@ -1,0 +1,201 @@
+package fpamc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"catpa/internal/mc"
+	"catpa/internal/sim"
+)
+
+func TestMultiRejectsBadInput(t *testing.T) {
+	tasks := []mc.Task{mkTask(1, 10, 3, 1, 2, 3)}
+	if _, err := AnalyzeMulti(tasks, 2); err == nil {
+		t.Error("crit above K accepted")
+	}
+	if _, err := AnalyzeMulti(tasks, 0); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if MultiSchedulable(tasks, 2) {
+		t.Error("MultiSchedulable true on error")
+	}
+}
+
+// TestMultiReducesToDual: for K = 2 the multi-level recurrence must
+// reproduce the dual AMC-rtb bounds exactly (R(1) = LO, R(2) =
+// Transition) on random schedulable subsets.
+func TestMultiReducesToDual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 150; trial++ {
+		tasks := randomDualSubset(rng)
+		if len(tasks) == 0 {
+			continue
+		}
+		dual, err := Analyze(tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := AnalyzeMulti(tasks, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dual.Schedulable != multi.Schedulable {
+			t.Fatalf("trial %d: verdicts differ", trial)
+		}
+		for i := range tasks {
+			if !almost(dual.ByTask[i].LO, multi.ByTask[i].PerLevel[0]) {
+				t.Fatalf("trial %d task %d: LO %v != R(1) %v",
+					trial, i, dual.ByTask[i].LO, multi.ByTask[i].PerLevel[0])
+			}
+			if tasks[i].Crit == 2 && !almost(dual.ByTask[i].Transition, multi.ByTask[i].PerLevel[1]) {
+				t.Fatalf("trial %d task %d: Transition %v != R(2) %v",
+					trial, i, dual.ByTask[i].Transition, multi.ByTask[i].PerLevel[1])
+			}
+		}
+	}
+}
+
+// TestMultiHandWorked checks a three-level example by hand:
+//
+//	tau1 (T=10, C=2, crit 1), tau2 (T=20, C=(2,4), crit 2),
+//	tau3 (T=50, C=(3,6,12), crit 3); priorities 1 > 2 > 3.
+//
+// tau3: R(1) = 3 + ceil(R/10)*2 + ceil(R/20)*2 -> R=3: 3+2+2=7 -> 7:
+// 3+2+2=7. R(1)=7.
+// R(2) = 6 + ceil(R/20)*4 + ceil(R(1)=7 /10)*2 -> R=6: 6+4+2=12 ->
+// 12: 6+4+2=12. R(2)=12.
+// R(3) = 12 + ceil(R(2)=12 /20)*4 + ceil(R(1)=7 /10)*2 = 12+4+2=18.
+// (tau2 frozen at tau3's level-2 bound, tau1 at the level-1 bound.)
+func TestMultiHandWorked(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(1, 10, 1, 2),
+		mkTask(2, 20, 2, 2, 4),
+		mkTask(3, 50, 3, 3, 6, 12),
+	}
+	a, err := AnalyzeMulti(tasks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := a.ByTask[2]
+	if !almost(r3.PerLevel[0], 7) {
+		t.Errorf("R(1) = %v, want 7", r3.PerLevel[0])
+	}
+	if !almost(r3.PerLevel[1], 12) {
+		t.Errorf("R(2) = %v, want 12", r3.PerLevel[1])
+	}
+	if !almost(r3.PerLevel[2], 18) {
+		t.Errorf("R(3) = %v, want 18", r3.PerLevel[2])
+	}
+	if !a.Schedulable {
+		t.Error("hand-worked set rejected")
+	}
+}
+
+// randomMultiSubset accretes a subset that passes the K-level AMC-rtb.
+func randomMultiSubset(rng *rand.Rand, k int) []mc.Task {
+	var tasks []mc.Task
+	for id := 1; id <= 25; id++ {
+		crit := 1 + rng.Intn(k)
+		p := []float64{20, 40, 50, 100, 200}[rng.Intn(5)]
+		u1 := 0.02 + rng.Float64()*0.1
+		w := make([]float64, crit)
+		c := u1 * p
+		for i := range w {
+			w[i] = c
+			c *= 1.3 + rng.Float64()*0.4
+		}
+		tk := mc.Task{ID: id, Period: p, Crit: crit, WCET: w}
+		if tk.MaxUtil() > 1 {
+			continue
+		}
+		trial := append(append([]mc.Task{}, tasks...), tk)
+		if MultiSchedulable(trial, k) {
+			tasks = trial
+		}
+	}
+	return tasks
+}
+
+// TestMultiAcceptedSubsetsNeverMissFP: the K-level cross-validation —
+// subsets accepted by the generalized AMC-rtb execute miss-free under
+// fixed-priority dispatching with full overruns, for K = 3..5, and
+// observed responses stay within the worst applicable bound.
+func TestMultiAcceptedSubsetsNeverMissFP(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		k := 3 + rng.Intn(3)
+		tasks := randomMultiSubset(rng, k)
+		if len(tasks) == 0 {
+			continue
+		}
+		a, err := AnalyzeMulti(tasks, k)
+		if err != nil || !a.Schedulable {
+			t.Fatal("construction broken")
+		}
+		st := sim.SimulateCore(sim.CoreConfig{
+			Tasks:         tasks,
+			K:             k,
+			Horizon:       10000,
+			Model:         sim.WorstCaseModel{},
+			FixedPriority: true,
+			Priorities:    Priorities(tasks),
+		})
+		if st.Missed != 0 {
+			t.Fatalf("trial %d (K=%d): %d misses (first %+v)", trial, k, st.Missed, st.Misses[0])
+		}
+		for i := range tasks {
+			bound := 0.0
+			for _, r := range a.ByTask[i].PerLevel {
+				bound = math.Max(bound, r)
+			}
+			if st.MaxResponse[i] > bound+1e-6 {
+				t.Fatalf("trial %d task %d: observed %v > bound %v",
+					trial, tasks[i].ID, st.MaxResponse[i], bound)
+			}
+		}
+	}
+}
+
+// TestMultiResponseMonotoneInLevel: property — bounds grow with the
+// level (more carried interference, bigger own budget).
+func TestMultiResponseMonotoneInLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(4)
+		tasks := randomMultiSubset(rng, k)
+		if len(tasks) == 0 {
+			continue
+		}
+		a, _ := AnalyzeMulti(tasks, k)
+		for i := range tasks {
+			lv := a.ByTask[i].PerLevel
+			for j := 1; j < len(lv); j++ {
+				if lv[j] < lv[j-1]-Eps {
+					t.Fatalf("trial %d task %d: R(%d)=%v < R(%d)=%v",
+						trial, i, j+1, lv[j], j, lv[j-1])
+				}
+			}
+		}
+	}
+}
+
+func TestMultiUnschedulableMarksInf(t *testing.T) {
+	// Force a level-2 failure: tau2's transition bound exceeds its
+	// period because of a heavy carried LO task.
+	tasks := []mc.Task{
+		mkTask(1, 10, 1, 6),         // heavy LO, hp
+		mkTask(2, 14, 2, 3.5, 10.5), // HI, cannot absorb carry + own C(2)
+	}
+	a, err := AnalyzeMulti(tasks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedulable {
+		t.Fatal("expected rejection")
+	}
+	r2 := a.ByTask[1]
+	if r2.Schedulable {
+		t.Fatal("tau2 marked schedulable")
+	}
+}

@@ -1,0 +1,158 @@
+package fpamc
+
+import (
+	"fmt"
+	"math"
+
+	"catpa/internal/mc"
+	"catpa/internal/partition"
+)
+
+// Partition allocates a dual-criticality task set onto m cores under
+// partitioned fixed-priority AMC scheduling, using the classical
+// decreasing-utilization heuristics with the AMC-rtb schedulability
+// test (Kelly, Aydin, Zhao style). Supported schemes: WFD, FFD, BFD
+// and Hybrid (CA-TPA is EDF-VD-specific — its core-utilization metric
+// has no fixed-priority counterpart).
+//
+// The result reuses partition.Result; core utilizations are the Eq. 4
+// own-level loads (a response-time analysis has no single utilization
+// figure), so only Feasible, Assignment, Cores[i].Tasks and
+// Cores[i].OwnLevelLoad are meaningful.
+func Partition(ts *mc.TaskSet, m int, scheme partition.Scheme) (*partition.Result, error) {
+	if maxCrit := ts.MaxCrit(); maxCrit > 2 {
+		return nil, fmt.Errorf("fpamc: task set has criticality %d; AMC-rtb partitioning is dual-criticality", maxCrit)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("fpamc: invalid core count %d", m)
+	}
+	var order []int
+	switch scheme {
+	case partition.WFD, partition.FFD, partition.BFD, partition.Hybrid:
+		order = mc.SortByMaxUtil(ts)
+	default:
+		return nil, fmt.Errorf("fpamc: unsupported scheme %v", scheme)
+	}
+
+	cores := make([][]mc.Task, m)
+	taskIdx := make([][]int, m)
+	loads := make([]float64, m)
+	assign := make([]int, ts.Len())
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	place := func(ti int) bool {
+		t := &ts.Tasks[ti]
+		pick, hybridScheme := -1, scheme
+		if scheme == partition.Hybrid {
+			if t.Crit >= 2 {
+				hybridScheme = partition.WFD
+			} else {
+				hybridScheme = partition.FFD
+			}
+		}
+		var pickLoad float64
+		for c := 0; c < m; c++ {
+			if !fits(cores[c], t) {
+				continue
+			}
+			switch hybridScheme {
+			case partition.FFD:
+				pick = c
+			case partition.BFD:
+				if pick < 0 || loads[c] > pickLoad+Eps {
+					pick, pickLoad = c, loads[c]
+				}
+				continue
+			case partition.WFD:
+				if pick < 0 || loads[c] < pickLoad-Eps {
+					pick, pickLoad = c, loads[c]
+				}
+				continue
+			}
+			if pick >= 0 && hybridScheme == partition.FFD {
+				break
+			}
+		}
+		if pick < 0 {
+			return false
+		}
+		cores[pick] = append(cores[pick], t.Clone())
+		taskIdx[pick] = append(taskIdx[pick], ti)
+		loads[pick] += t.MaxUtil()
+		assign[ti] = pick
+		return true
+	}
+
+	run := func(filter func(*mc.Task) bool) int {
+		for _, ti := range order {
+			if !filter(&ts.Tasks[ti]) {
+				continue
+			}
+			if !place(ti) {
+				return ti
+			}
+		}
+		return -1
+	}
+
+	failed := -1
+	if scheme == partition.Hybrid {
+		if failed = run(func(t *mc.Task) bool { return t.Crit >= 2 }); failed < 0 {
+			failed = run(func(t *mc.Task) bool { return t.Crit < 2 })
+		}
+	} else {
+		failed = run(func(*mc.Task) bool { return true })
+	}
+
+	res := &partition.Result{
+		Scheme:     scheme,
+		M:          m,
+		K:          2,
+		Feasible:   failed < 0,
+		Assignment: assign,
+		FailedTask: failed,
+		Cores:      make([]partition.CoreInfo, m),
+	}
+	for c := 0; c < m; c++ {
+		res.Cores[c] = partition.CoreInfo{
+			Tasks:        taskIdx[c],
+			Util:         loads[c],
+			OwnLevelLoad: loads[c],
+		}
+	}
+	finishMetrics(res)
+	return res, nil
+}
+
+// fits reports whether the subset plus the candidate passes AMC-rtb.
+func fits(subset []mc.Task, t *mc.Task) bool {
+	trial := make([]mc.Task, 0, len(subset)+1)
+	trial = append(trial, subset...)
+	trial = append(trial, *t)
+	return Schedulable(trial)
+}
+
+// finishMetrics fills Usys/Uavg/Imbalance from the own-level loads.
+func finishMetrics(r *partition.Result) {
+	if len(r.Cores) == 0 {
+		return
+	}
+	maxU, minU, sum := math.Inf(-1), math.Inf(1), 0.0
+	for i := range r.Cores {
+		u := r.Cores[i].Util
+		sum += u
+		if u > maxU {
+			maxU = u
+		}
+		if u < minU {
+			minU = u
+		}
+	}
+	r.Usys = maxU
+	r.Uavg = sum / float64(len(r.Cores))
+	if maxU > Eps {
+		r.Imbalance = (maxU - minU) / maxU
+	}
+}

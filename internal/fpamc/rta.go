@@ -1,0 +1,193 @@
+package fpamc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"catpa/internal/mc"
+)
+
+// Eps is the convergence and comparison tolerance of the fixed-point
+// iterations.
+const Eps = 1e-9
+
+// maxIterations bounds every response-time fixed point; with demands
+// bounded by the deadline the iteration either converges or exceeds
+// the deadline long before this.
+const maxIterations = 10000
+
+// Priorities returns the deadline-monotonic priority order of the
+// subset: a permutation of task indices from highest priority
+// (shortest period) to lowest. Ties break toward the higher
+// criticality, then the smaller ID, mirroring the ordering conventions
+// used elsewhere in the repository.
+func Priorities(tasks []mc.Task) []int {
+	idx := make([]int, len(tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := &tasks[idx[a]], &tasks[idx[b]]
+		if ta.Period != tb.Period {
+			return ta.Period < tb.Period
+		}
+		if ta.Crit != tb.Crit {
+			return ta.Crit > tb.Crit
+		}
+		return ta.ID < tb.ID
+	})
+	return idx
+}
+
+// Response holds the analyzed response-time bounds of one task.
+type Response struct {
+	// LO is the response time when every job runs within its level-1
+	// budget. Valid for all tasks.
+	LO float64
+	// HI is the stable high-mode response time (only low-criticality
+	// tasks dropped, every survivor at its level-2 budget). Only
+	// meaningful for high-criticality tasks; 0 otherwise.
+	HI float64
+	// Transition is the AMC-rtb bound across the LO->HI mode switch.
+	// Only meaningful for high-criticality tasks; 0 otherwise.
+	Transition float64
+	// Schedulable reports whether every applicable bound is within
+	// the task's deadline.
+	Schedulable bool
+}
+
+// Analysis is the AMC-rtb result for one core's subset.
+type Analysis struct {
+	// Priority is the deadline-monotonic order (see Priorities).
+	Priority []int
+	// ByTask maps each task index to its response bounds.
+	ByTask []Response
+	// Schedulable reports whether the whole subset passes.
+	Schedulable bool
+}
+
+// Analyze runs the dual-criticality AMC-rtb analysis on the subset.
+// All tasks must have criticality 1 or 2; higher levels are rejected
+// with an error (the multi-level extension of AMC is out of scope —
+// the EDF-VD path of this repository covers K > 2).
+func Analyze(tasks []mc.Task) (*Analysis, error) {
+	for i := range tasks {
+		if tasks[i].Crit < 1 || tasks[i].Crit > 2 {
+			return nil, fmt.Errorf("fpamc: task %d has criticality %d; AMC-rtb analysis is dual-criticality", tasks[i].ID, tasks[i].Crit)
+		}
+	}
+	a := &Analysis{
+		Priority:    Priorities(tasks),
+		ByTask:      make([]Response, len(tasks)),
+		Schedulable: true,
+	}
+	// rank[i] = position of task i in the priority order.
+	rank := make([]int, len(tasks))
+	for pos, ti := range a.Priority {
+		rank[ti] = pos
+	}
+	for ti := range tasks {
+		r := a.analyzeTask(tasks, rank, ti)
+		a.ByTask[ti] = r
+		if !r.Schedulable {
+			a.Schedulable = false
+		}
+	}
+	return a, nil
+}
+
+// Schedulable is a convenience wrapper returning only the verdict
+// (false on analysis error, i.e. non-dual criticalities).
+func Schedulable(tasks []mc.Task) bool {
+	a, err := Analyze(tasks)
+	return err == nil && a.Schedulable
+}
+
+// analyzeTask computes the three bounds for one task.
+func (a *Analysis) analyzeTask(tasks []mc.Task, rank []int, ti int) Response {
+	t := &tasks[ti]
+	deadline := t.Period
+	var resp Response
+
+	// hp enumerates strictly higher-priority tasks.
+	hp := func(f func(j int)) {
+		for j := range tasks {
+			if j != ti && rank[j] < rank[ti] {
+				f(j)
+			}
+		}
+	}
+
+	// LO-mode response: everyone interferes with level-1 budgets.
+	resp.LO = fixedPoint(t.C(1), deadline, func(r float64) float64 {
+		demand := t.C(1)
+		hp(func(j int) {
+			demand += math.Ceil((r-Eps)/tasks[j].Period) * tasks[j].C(1)
+		})
+		return demand
+	})
+	resp.Schedulable = resp.LO <= deadline+Eps
+
+	if t.Crit < 2 {
+		// LO tasks only need the LO-mode bound: they are dropped at
+		// the switch.
+		return resp
+	}
+
+	// Stable HI-mode response: only HI tasks interfere, at level-2
+	// budgets.
+	resp.HI = fixedPoint(t.C(2), deadline, func(r float64) float64 {
+		demand := t.C(2)
+		hp(func(j int) {
+			if tasks[j].Crit >= 2 {
+				demand += math.Ceil((r-Eps)/tasks[j].Period) * tasks[j].C(2)
+			}
+		})
+		return demand
+	})
+	if resp.HI > deadline+Eps {
+		resp.Schedulable = false
+	}
+
+	// AMC-rtb transition bound: HI interference at level-2 budgets
+	// over the whole window, LO interference at level-1 budgets
+	// frozen at the LO-mode response time (no LO releases after the
+	// switch can interfere).
+	if resp.Schedulable {
+		loResp := resp.LO
+		resp.Transition = fixedPoint(t.C(2), deadline, func(r float64) float64 {
+			demand := t.C(2)
+			hp(func(j int) {
+				if tasks[j].Crit >= 2 {
+					demand += math.Ceil((r-Eps)/tasks[j].Period) * tasks[j].C(2)
+				} else {
+					demand += math.Ceil((loResp-Eps)/tasks[j].Period) * tasks[j].C(1)
+				}
+			})
+			return demand
+		})
+		if resp.Transition > deadline+Eps {
+			resp.Schedulable = false
+		}
+	}
+	return resp
+}
+
+// fixedPoint iterates r = f(r) from the seed until convergence or
+// until r exceeds the bound (returned as-is so callers can compare
+// against the deadline).
+func fixedPoint(seed, bound float64, f func(float64) float64) float64 {
+	r := seed
+	for iter := 0; iter < maxIterations; iter++ {
+		next := f(r)
+		if next <= r+Eps {
+			return next
+		}
+		if next > bound+Eps {
+			return next
+		}
+		r = next
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,260 @@
+package fpamc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"catpa/internal/mc"
+	"catpa/internal/sim"
+)
+
+func mkTask(id int, period float64, crit int, wcet ...float64) mc.Task {
+	return mc.Task{ID: id, Period: period, Crit: crit, WCET: wcet}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestPrioritiesDeadlineMonotonic(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(1, 50, 1, 5),
+		mkTask(2, 10, 1, 2),
+		mkTask(3, 20, 2, 1, 3),
+	}
+	p := Priorities(tasks)
+	want := []int{1, 2, 0} // periods 10, 20, 50
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("priorities = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestPrioritiesTieBreaks(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(5, 10, 1, 1),
+		mkTask(2, 10, 2, 1, 2), // same period, higher crit -> first
+		mkTask(1, 10, 1, 1),    // same period+crit as task 0, smaller ID
+	}
+	p := Priorities(tasks)
+	if tasks[p[0]].ID != 2 {
+		t.Errorf("first = task %d, want criticality tie-break to ID 2", tasks[p[0]].ID)
+	}
+	if tasks[p[1]].ID != 1 || tasks[p[2]].ID != 5 {
+		t.Errorf("ID tie-break broken: %v", p)
+	}
+}
+
+// TestClassicRTAFixedPoint checks the textbook example: hp task
+// (T=10, C=3), lp task (T=20, C=5): R_lp = 5 + ceil(8/10)*3 = 8.
+func TestClassicRTAFixedPoint(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(1, 10, 1, 3),
+		mkTask(2, 20, 1, 5),
+	}
+	a, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(a.ByTask[0].LO, 3) {
+		t.Errorf("hp response = %v, want 3", a.ByTask[0].LO)
+	}
+	if !almost(a.ByTask[1].LO, 8) {
+		t.Errorf("lp response = %v, want 8", a.ByTask[1].LO)
+	}
+	if !a.Schedulable {
+		t.Error("textbook set rejected")
+	}
+}
+
+// TestRTAMultipleInterferenceWindows exercises a response crossing a
+// higher-priority period boundary: hp (T=5, C=2), lp (T=20, C=5):
+// R = 5 + ceil(R/5)*2 -> R=5: 5+2*2=9 -> ceil(9/5)=2: 9 -> stable? 5+2*2=9;
+// ceil(9/5)=2 -> 9. R=9.
+func TestRTAMultipleInterferenceWindows(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(1, 5, 1, 2),
+		mkTask(2, 20, 1, 5),
+	}
+	a, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(a.ByTask[1].LO, 9) {
+		t.Errorf("lp response = %v, want 9", a.ByTask[1].LO)
+	}
+}
+
+// TestAMCTransitionBound verifies the AMC-rtb fixed point on a
+// hand-worked dual-criticality example:
+//
+//	tauL (T=10, C=2, LO), tauH (T=25, C(1)=4, C(2)=9, HI).
+//
+// tauH has lower priority. R_H^LO = 4 + ceil(./10)*2 -> 4+2=6 (one
+// window). Transition: 9 + ceil(R_H^LO=6 /10)*2 (frozen LO) +
+// 0 (no hp HI) = 11.
+func TestAMCTransitionBound(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(1, 10, 1, 2),
+		mkTask(2, 25, 2, 4, 9),
+	}
+	a, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := a.ByTask[1]
+	if !almost(h.LO, 6) {
+		t.Errorf("R_H^LO = %v, want 6", h.LO)
+	}
+	if !almost(h.HI, 9) {
+		t.Errorf("R_H^HI = %v, want 9", h.HI)
+	}
+	if !almost(h.Transition, 11) {
+		t.Errorf("R_H* = %v, want 11", h.Transition)
+	}
+	if !a.Schedulable {
+		t.Error("example rejected")
+	}
+	// The LO task needs only its LO bound.
+	if a.ByTask[0].HI != 0 || a.ByTask[0].Transition != 0 {
+		t.Error("LO task carries HI bounds")
+	}
+}
+
+func TestAnalyzeRejectsHighK(t *testing.T) {
+	tasks := []mc.Task{mkTask(1, 10, 3, 1, 2, 3)}
+	if _, err := Analyze(tasks); err == nil {
+		t.Fatal("criticality 3 accepted")
+	}
+	if Schedulable(tasks) {
+		t.Fatal("Schedulable true on error")
+	}
+}
+
+func TestUnschedulableDetected(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(1, 10, 1, 6),
+		mkTask(2, 10, 1, 6),
+	}
+	a, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedulable {
+		t.Fatal("120% load accepted")
+	}
+}
+
+// randomDualSubset builds a subset that passes AMC-rtb, by greedy
+// accretion.
+func randomDualSubset(rng *rand.Rand) []mc.Task {
+	var tasks []mc.Task
+	for id := 1; id <= 30; id++ {
+		crit := 1 + rng.Intn(2)
+		p := []float64{20, 40, 50, 100, 200, 400}[rng.Intn(6)]
+		u1 := 0.03 + rng.Float64()*0.15
+		w := []float64{u1 * p}
+		if crit == 2 {
+			w = append(w, w[0]*(1.3+rng.Float64()*0.7))
+		}
+		tk := mc.Task{ID: id, Period: p, Crit: crit, WCET: w}
+		if tk.MaxUtil() > 1 {
+			continue
+		}
+		trial := append(append([]mc.Task{}, tasks...), tk)
+		if Schedulable(trial) {
+			tasks = trial
+		}
+	}
+	return tasks
+}
+
+// TestResponseOrdering: property — the transition bound dominates the
+// stable HI bound, and every bound dominates the task's own WCET.
+func TestResponseOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		tasks := randomDualSubset(rng)
+		if len(tasks) == 0 {
+			continue
+		}
+		a, err := Analyze(tasks)
+		if err != nil || !a.Schedulable {
+			t.Fatal("construction broken")
+		}
+		for i := range tasks {
+			r := a.ByTask[i]
+			if r.LO < tasks[i].C(1)-Eps {
+				t.Fatalf("trial %d: LO response below WCET", trial)
+			}
+			if tasks[i].Crit == 2 {
+				if r.Transition < r.HI-Eps {
+					t.Fatalf("trial %d: transition %v < stable HI %v", trial, r.Transition, r.HI)
+				}
+				if r.HI < tasks[i].C(2)-Eps {
+					t.Fatalf("trial %d: HI response below C(2)", trial)
+				}
+			}
+		}
+	}
+}
+
+// TestAMCAcceptedSubsetsNeverMissFP is the runtime cross-validation:
+// AMC-rtb-accepted subsets executed under fixed-priority dispatching
+// with AMC mode switching never miss a deadline of a non-dropped job,
+// and every observed response time is bounded by the analyzed bound.
+func TestAMCAcceptedSubsetsNeverMissFP(t *testing.T) {
+	rng := rand.New(rand.NewSource(20161111))
+	for trial := 0; trial < 120; trial++ {
+		tasks := randomDualSubset(rng)
+		if len(tasks) == 0 {
+			continue
+		}
+		a, _ := Analyze(tasks)
+		st := sim.SimulateCore(sim.CoreConfig{
+			Tasks:         tasks,
+			K:             2,
+			Horizon:       12000,
+			Model:         sim.WorstCaseModel{},
+			FixedPriority: true,
+			Priorities:    Priorities(tasks),
+		})
+		if st.Missed != 0 {
+			t.Fatalf("trial %d: %d misses on AMC-rtb-accepted subset (first %+v)",
+				trial, st.Missed, st.Misses[0])
+		}
+		for i := range tasks {
+			bound := a.ByTask[i].LO
+			if tasks[i].Crit == 2 {
+				bound = math.Max(bound, a.ByTask[i].Transition)
+			}
+			if st.MaxResponse[i] > bound+1e-6 {
+				t.Fatalf("trial %d task %d: observed response %v exceeds analyzed bound %v",
+					trial, tasks[i].ID, st.MaxResponse[i], bound)
+			}
+		}
+	}
+}
+
+// TestRandomOverrunsAlsoSafe repeats the cross-validation with
+// sporadic, arbitrarily timed overruns.
+func TestRandomOverrunsAlsoSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		tasks := randomDualSubset(rng)
+		if len(tasks) == 0 {
+			continue
+		}
+		st := sim.SimulateCore(sim.CoreConfig{
+			Tasks:         tasks,
+			K:             2,
+			Horizon:       12000,
+			Model:         sim.NewRandomModel(0.2, 0.1, int64(trial)),
+			FixedPriority: true,
+			Priorities:    Priorities(tasks),
+		})
+		if st.Missed != 0 {
+			t.Fatalf("trial %d: %d misses (first %+v)", trial, st.Missed, st.Misses[0])
+		}
+	}
+}

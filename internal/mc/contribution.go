@@ -1,0 +1,155 @@
+package mc
+
+// Contribution holds the utilization contributions of one task with
+// respect to a whole task set (Eqs. 12-13): PerLevel[k-1] = C_i(k) =
+// u_i(k)/U(k) for k = 1..l_i, and Max = C_i = max_k C_i(k).
+type Contribution struct {
+	PerLevel []float64
+	Max      float64
+}
+
+// Contributions computes the utilization contribution of every task in
+// ts with respect to the system-wide totals U(k) of ts itself
+// (Eq. 12). Levels whose total utilization U(k) is zero cannot occur
+// for k <= l_i of any task (the task itself contributes to U(k)), so
+// no division by zero arises for valid sets.
+//
+// The returned slice is indexed like ts.Tasks.
+func Contributions(ts *TaskSet) []Contribution {
+	k := ts.MaxCrit()
+	totals := make([]float64, k+1) // totals[j] = U(j), 1-based
+	for j := 1; j <= k; j++ {
+		totals[j] = ts.TotalUtilAt(j)
+	}
+	out := make([]Contribution, len(ts.Tasks))
+	for i := range ts.Tasks {
+		t := &ts.Tasks[i]
+		c := Contribution{PerLevel: make([]float64, t.Crit)}
+		for lev := 1; lev <= t.Crit; lev++ {
+			v := 0.0
+			if totals[lev] > 0 {
+				v = t.Util(lev) / totals[lev]
+			}
+			c.PerLevel[lev-1] = v
+			if v > c.Max {
+				c.Max = v
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Precedes reports whether task a strictly precedes task b in the
+// CA-TPA ordering operator (the relation written a ≻ b in the paper):
+//
+//  1. larger utilization contribution first;
+//  2. ties broken in favor of the higher criticality level;
+//  3. remaining ties broken in favor of the smaller task ID.
+//
+// ca and cb are the respective Max contributions. The relation is a
+// strict total order for tasks with distinct IDs.
+func Precedes(a *Task, ca float64, b *Task, cb float64) bool {
+	if diff := ca - cb; diff > Eps || diff < -Eps {
+		return diff > 0
+	}
+	if a.Crit != b.Crit {
+		return a.Crit > b.Crit
+	}
+	return a.ID < b.ID
+}
+
+// SortByContribution returns the indices of ts.Tasks sorted by
+// decreasing ordering priority (the allocation order used by CA-TPA,
+// Section III-A). ts itself is not modified.
+func SortByContribution(ts *TaskSet) []int {
+	contrib := Contributions(ts)
+	idx := make([]int, len(ts.Tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion-style comparison via sort with the strict relation.
+	sortIdx(idx, func(i, j int) bool {
+		return Precedes(&ts.Tasks[i], contrib[i].Max, &ts.Tasks[j], contrib[j].Max)
+	})
+	return idx
+}
+
+// SortByMaxUtil returns the indices of ts.Tasks sorted by decreasing
+// own-level utilization u_i(l_i) — the classical "decreasing" order
+// used by FFD/BFD/WFD. Ties are broken by higher criticality, then by
+// smaller ID, mirroring the CA-TPA tie rules so that comparisons
+// between heuristics differ only in the primary key.
+func SortByMaxUtil(ts *TaskSet) []int {
+	idx := make([]int, len(ts.Tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sortIdx(idx, func(i, j int) bool {
+		a, b := &ts.Tasks[i], &ts.Tasks[j]
+		if diff := a.MaxUtil() - b.MaxUtil(); diff > Eps || diff < -Eps {
+			return diff > 0
+		}
+		if a.Crit != b.Crit {
+			return a.Crit > b.Crit
+		}
+		return a.ID < b.ID
+	})
+	return idx
+}
+
+// sortIdx sorts idx with the provided less relation over element
+// values. A tiny wrapper so the call sites read naturally.
+func sortIdx(idx []int, less func(i, j int) bool) {
+	// sort.Slice on the index slice, translating positions to values.
+	quicksortIdx(idx, less)
+}
+
+// quicksortIdx is a simple deterministic in-place sort (median-of-three
+// quicksort with insertion sort for small runs). It exists to keep the
+// hot partitioning path free of interface conversions; the relation
+// must be a strict weak order.
+func quicksortIdx(idx []int, less func(a, b int) bool) {
+	for len(idx) > 12 {
+		// Median of three on values at the ends and middle.
+		m := len(idx) / 2
+		if less(idx[m], idx[0]) {
+			idx[m], idx[0] = idx[0], idx[m]
+		}
+		if less(idx[len(idx)-1], idx[0]) {
+			idx[len(idx)-1], idx[0] = idx[0], idx[len(idx)-1]
+		}
+		if less(idx[len(idx)-1], idx[m]) {
+			idx[len(idx)-1], idx[m] = idx[m], idx[len(idx)-1]
+		}
+		pivot := idx[m]
+		i, j := 0, len(idx)-1
+		for i <= j {
+			for less(idx[i], pivot) {
+				i++
+			}
+			for less(pivot, idx[j]) {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller half, loop on the larger.
+		if j+1 < len(idx)-i {
+			quicksortIdx(idx[:j+1], less)
+			idx = idx[i:]
+		} else {
+			quicksortIdx(idx[i:], less)
+			idx = idx[:j+1]
+		}
+	}
+	// Insertion sort for the remainder.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && less(idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContributions(t *testing.T) {
+	ts := dualSet() // U(1)=0.60, U(2)=0.65
+	cs := Contributions(ts)
+	// tau1: C(1) = 0.30/0.60 = 0.5
+	if !almost(cs[0].Max, 0.5) {
+		t.Errorf("C_1 = %v, want 0.5", cs[0].Max)
+	}
+	// tau2: C(1) = 0.20/0.60 = 1/3, C(2) = 0.40/0.65 ≈ 0.6154
+	if !almost(cs[1].PerLevel[0], 0.2/0.6) {
+		t.Errorf("C_2(1) = %v", cs[1].PerLevel[0])
+	}
+	if !almost(cs[1].PerLevel[1], 0.4/0.65) {
+		t.Errorf("C_2(2) = %v", cs[1].PerLevel[1])
+	}
+	if !almost(cs[1].Max, 0.4/0.65) {
+		t.Errorf("C_2 = %v", cs[1].Max)
+	}
+	// tau3: max(0.1/0.6, 0.25/0.65) = 0.25/0.65.
+	if !almost(cs[2].Max, 0.25/0.65) {
+		t.Errorf("C_3 = %v", cs[2].Max)
+	}
+}
+
+func TestPrecedesRules(t *testing.T) {
+	a := mkTask(1, 10, 1, 1)
+	b := mkTask(2, 10, 2, 1, 2)
+	// Rule 1: larger contribution wins.
+	if !Precedes(&a, 0.9, &b, 0.5) {
+		t.Error("larger contribution should precede")
+	}
+	if Precedes(&a, 0.5, &b, 0.9) {
+		t.Error("smaller contribution should not precede")
+	}
+	// Rule 2: tie broken by criticality.
+	if !Precedes(&b, 0.5, &a, 0.5) {
+		t.Error("higher criticality should precede on tie")
+	}
+	if Precedes(&a, 0.5, &b, 0.5) {
+		t.Error("lower criticality should not precede on tie")
+	}
+	// Rule 3: same contribution and criticality -> smaller ID.
+	c := mkTask(3, 20, 1, 2)
+	if !Precedes(&a, 0.5, &c, 0.5) {
+		t.Error("smaller ID should precede on full tie")
+	}
+	if Precedes(&c, 0.5, &a, 0.5) {
+		t.Error("larger ID should not precede on full tie")
+	}
+}
+
+func TestSortByContributionOrder(t *testing.T) {
+	ts := dualSet()
+	idx := SortByContribution(ts)
+	// Contributions: tau2 ≈ 0.615, tau1 = 0.5, tau3 ≈ 0.385.
+	want := []int{1, 0, 2}
+	for i, w := range want {
+		if idx[i] != w {
+			t.Fatalf("order = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestSortByMaxUtilOrder(t *testing.T) {
+	ts := dualSet()
+	idx := SortByMaxUtil(ts)
+	// MaxUtil: tau2 = 0.40, tau1 = 0.30, tau3 = 0.25.
+	want := []int{1, 0, 2}
+	for i, w := range want {
+		if idx[i] != w {
+			t.Fatalf("order = %v, want %v", idx, want)
+		}
+	}
+}
+
+// TestSortByContributionIsPermutation checks, property-style, that the
+// returned index slice is always a permutation and is sorted w.r.t. the
+// strict ordering relation.
+func TestSortByContributionIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		ts := &TaskSet{}
+		for i := 0; i < n; i++ {
+			crit := 1 + rng.Intn(3)
+			p := 10 + rng.Float64()*90
+			w := make([]float64, crit)
+			c := (0.05 + rng.Float64()*0.3) * p
+			for k := range w {
+				w[k] = c
+				c *= 1 + rng.Float64()*0.5
+			}
+			// Cap utilization at 1.
+			if w[crit-1] > p {
+				continue
+			}
+			ts.Tasks = append(ts.Tasks, Task{ID: i + 1, Period: p, Crit: crit, WCET: w})
+		}
+		if len(ts.Tasks) == 0 {
+			return true
+		}
+		idx := SortByContribution(ts)
+		seen := make(map[int]bool)
+		for _, i := range idx {
+			if i < 0 || i >= len(ts.Tasks) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		contrib := Contributions(ts)
+		for i := 1; i < len(idx); i++ {
+			a, b := idx[i-1], idx[i]
+			// The later element must not strictly precede the earlier.
+			if Precedes(&ts.Tasks[b], contrib[b].Max, &ts.Tasks[a], contrib[a].Max) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrecedesTotalOrder verifies antisymmetry of the relation on
+// random pairs: exactly one of a≻b, b≻a holds for distinct IDs.
+func TestPrecedesTotalOrder(t *testing.T) {
+	f := func(ca, cb float64, critA, critB uint8) bool {
+		a := mkTask(1, 10, 1+int(critA%3), 1, 1, 1)
+		a.WCET = a.WCET[:a.Crit]
+		b := mkTask(2, 10, 1+int(critB%3), 1, 1, 1)
+		b.WCET = b.WCET[:b.Crit]
+		ab := Precedes(&a, ca, &b, cb)
+		ba := Precedes(&b, cb, &a, ca)
+		return ab != ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContributionsSingleTask(t *testing.T) {
+	ts := NewTaskSet(mkTask(1, 10, 3, 1, 2, 3))
+	cs := Contributions(ts)
+	// A lone task contributes 100% at every level.
+	for k, v := range cs[0].PerLevel {
+		if !almost(v, 1.0) {
+			t.Errorf("C(%d) = %v, want 1", k+1, v)
+		}
+	}
+	if !almost(cs[0].Max, 1.0) {
+		t.Errorf("Max = %v, want 1", cs[0].Max)
+	}
+}

@@ -1,0 +1,13 @@
+// Package mc implements the mixed-criticality (MC) task model used
+// throughout the repository: Vestal-style periodic implicit-deadline
+// tasks with per-criticality-level worst-case execution times, the
+// utilization algebra of Han et al. (ICPP 2016), Eqs. (1)-(3), the
+// utilization-contribution metric of Eqs. (12)-(13), and the total
+// ordering operator used by CA-TPA to sort tasks before allocation.
+//
+// Criticality levels are 1-based: level 1 is the lowest criticality,
+// level K the highest. A task of criticality L carries L worst-case
+// execution times c(1) <= c(2) <= ... <= c(L); its jobs are expected to
+// signal completion within c(k) when the system operates at level k,
+// and a run past c(k) (k < L) triggers a mode switch to level k+1.
+package mc

@@ -1,0 +1,151 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilMatrixAddRemove(t *testing.T) {
+	m := NewUtilMatrix(2)
+	t1 := mkTask(1, 10, 1, 3)    // LO, u(1)=0.3
+	t2 := mkTask(2, 20, 2, 4, 8) // HI, u(1)=0.2, u(2)=0.4
+	m.Add(&t1)
+	m.Add(&t2)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if !almost(m.At(1, 1), 0.3) {
+		t.Errorf("U_1(1) = %v", m.At(1, 1))
+	}
+	if !almost(m.At(2, 1), 0.2) {
+		t.Errorf("U_2(1) = %v", m.At(2, 1))
+	}
+	if !almost(m.At(2, 2), 0.4) {
+		t.Errorf("U_2(2) = %v", m.At(2, 2))
+	}
+	if !almost(m.TotalAt(1), 0.5) {
+		t.Errorf("U(1) = %v", m.TotalAt(1))
+	}
+	if !almost(m.TotalAt(2), 0.4) {
+		t.Errorf("U(2) = %v", m.TotalAt(2))
+	}
+	if !almost(m.OwnLevelLoad(), 0.7) {
+		t.Errorf("OwnLevelLoad = %v", m.OwnLevelLoad())
+	}
+	m.Remove(&t1)
+	if m.Len() != 1 || !almost(m.At(1, 1), 0) {
+		t.Errorf("after remove: Len=%d U_1(1)=%v", m.Len(), m.At(1, 1))
+	}
+}
+
+func TestUtilMatrixMatchesTaskSet(t *testing.T) {
+	ts := dualSet()
+	m := MatrixOf(ts, 2)
+	for j := 1; j <= 2; j++ {
+		for k := 1; k <= 2; k++ {
+			if !almost(m.At(j, k), ts.LevelUtil(j, k)) {
+				t.Errorf("U_%d(%d): matrix %v != set %v", j, k, m.At(j, k), ts.LevelUtil(j, k))
+			}
+		}
+	}
+	for k := 1; k <= 2; k++ {
+		if !almost(m.TotalAt(k), ts.TotalUtilAt(k)) {
+			t.Errorf("U(%d): matrix %v != set %v", k, m.TotalAt(k), ts.TotalUtilAt(k))
+		}
+	}
+}
+
+func TestUtilMatrixCloneAndReset(t *testing.T) {
+	m := NewUtilMatrix(3)
+	tk := mkTask(1, 10, 2, 1, 2)
+	m.Add(&tk)
+	c := m.Clone()
+	m.Reset()
+	if m.Len() != 0 || !almost(m.At(2, 1), 0) {
+		t.Error("Reset did not clear")
+	}
+	if c.Len() != 1 || !almost(c.At(2, 1), 0.1) {
+		t.Error("Clone affected by Reset")
+	}
+}
+
+func TestUtilMatrixPanics(t *testing.T) {
+	m := NewUtilMatrix(2)
+	mustPanic(t, "At out of range", func() { m.At(0, 1) })
+	mustPanic(t, "At out of range high", func() { m.At(1, 3) })
+	tk := mkTask(1, 10, 3, 1, 2, 3)
+	mustPanic(t, "Add crit above K", func() { m.Add(&tk) })
+	mustPanic(t, "NewUtilMatrix(0)", func() { NewUtilMatrix(0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestUtilMatrixIncrementalProperty: a random add/remove trace leaves
+// the matrix identical to recomputing from the surviving tasks.
+func TestUtilMatrixIncrementalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const K = 4
+		m := NewUtilMatrix(K)
+		var live []Task
+		for op := 0; op < 60; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				m.Remove(&live[i])
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			crit := 1 + rng.Intn(K)
+			p := 1 + rng.Float64()*100
+			w := make([]float64, crit)
+			c := rng.Float64() * p * 0.5
+			if c <= 0 {
+				c = 0.01
+			}
+			for k := range w {
+				w[k] = c
+				c *= 1.3
+			}
+			tk := Task{ID: op + 1, Period: p, Crit: crit, WCET: w}
+			m.Add(&tk)
+			live = append(live, tk)
+		}
+		ref := NewUtilMatrix(K)
+		for i := range live {
+			ref.Add(&live[i])
+		}
+		if m.Len() != ref.Len() {
+			return false
+		}
+		for j := 1; j <= K; j++ {
+			for k := 1; k <= K; k++ {
+				if math.Abs(m.At(j, k)-ref.At(j, k)) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilMatrixString(t *testing.T) {
+	m := NewUtilMatrix(2)
+	tk := mkTask(1, 10, 2, 1, 2)
+	m.Add(&tk)
+	if s := m.String(); s == "" {
+		t.Error("empty String()")
+	}
+}

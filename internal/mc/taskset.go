@@ -1,0 +1,154 @@
+package mc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TaskSet is an ordered collection of MC tasks (the set Psi of the
+// paper). The zero value is an empty, usable set.
+type TaskSet struct {
+	Tasks []Task `json:"tasks"`
+}
+
+// NewTaskSet builds a task set from tasks, assigning sequential IDs
+// starting at 1 to any task whose ID is zero.
+func NewTaskSet(tasks ...Task) *TaskSet {
+	ts := &TaskSet{Tasks: append([]Task(nil), tasks...)}
+	for i := range ts.Tasks {
+		if ts.Tasks[i].ID == 0 {
+			ts.Tasks[i].ID = i + 1
+		}
+	}
+	return ts
+}
+
+// Len returns the number of tasks N.
+func (ts *TaskSet) Len() int { return len(ts.Tasks) }
+
+// MaxCrit returns the highest criticality level K present in the set
+// (0 for an empty set). The paper calls this the system criticality
+// level; tasks need not populate every level below K.
+func (ts *TaskSet) MaxCrit() int {
+	k := 0
+	for i := range ts.Tasks {
+		if ts.Tasks[i].Crit > k {
+			k = ts.Tasks[i].Crit
+		}
+	}
+	return k
+}
+
+// Validate checks every task and the uniqueness of IDs.
+func (ts *TaskSet) Validate() error {
+	seen := make(map[int]bool, len(ts.Tasks))
+	for i := range ts.Tasks {
+		t := &ts.Tasks[i]
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("mc: duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// LevelUtil returns U_j(k), the level-k utilization of the tasks whose
+// own criticality is exactly j (Eq. 1). Only tasks with l_i = j
+// contribute, and k must not exceed j to be meaningful; the method
+// saturates per Task.Util.
+func (ts *TaskSet) LevelUtil(j, k int) float64 {
+	var u float64
+	for i := range ts.Tasks {
+		if ts.Tasks[i].Crit == j {
+			u += ts.Tasks[i].Util(k)
+		}
+	}
+	return u
+}
+
+// TotalUtilAt returns U(k), the total level-k utilization of all tasks
+// with criticality level k or higher (Eq. 2).
+func (ts *TaskSet) TotalUtilAt(k int) float64 {
+	var u float64
+	for i := range ts.Tasks {
+		if ts.Tasks[i].Crit >= k {
+			u += ts.Tasks[i].Util(k)
+		}
+	}
+	return u
+}
+
+// RawUtil returns the aggregate level-1 utilization of all tasks; the
+// paper's normalized system utilization is NSU = RawUtil/M.
+func (ts *TaskSet) RawUtil() float64 {
+	var u float64
+	for i := range ts.Tasks {
+		u += ts.Tasks[i].Util(1)
+	}
+	return u
+}
+
+// MaxLoad returns the sum over tasks of their own-level utilizations,
+// i.e. the left-hand side of the pessimistic per-core condition (Eq. 4)
+// applied to the whole set.
+func (ts *TaskSet) MaxLoad() float64 {
+	var u float64
+	for i := range ts.Tasks {
+		u += ts.Tasks[i].MaxUtil()
+	}
+	return u
+}
+
+// ByLevel partitions task indices by their own criticality level;
+// result[j] holds the indices of L_j for j = 1..MaxCrit (index 0 is
+// unused).
+func (ts *TaskSet) ByLevel() [][]int {
+	k := ts.MaxCrit()
+	out := make([][]int, k+1)
+	for i := range ts.Tasks {
+		l := ts.Tasks[i].Crit
+		out[l] = append(out[l], i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the task set.
+func (ts *TaskSet) Clone() *TaskSet {
+	out := &TaskSet{Tasks: make([]Task, len(ts.Tasks))}
+	for i := range ts.Tasks {
+		out.Tasks[i] = ts.Tasks[i].Clone()
+	}
+	return out
+}
+
+// SortStable sorts the tasks in place with the given less function,
+// preserving the relative order of equal elements.
+func (ts *TaskSet) SortStable(less func(a, b *Task) bool) {
+	sort.SliceStable(ts.Tasks, func(i, j int) bool {
+		return less(&ts.Tasks[i], &ts.Tasks[j])
+	})
+}
+
+// MarshalJSON implements json.Marshaler.
+func (ts *TaskSet) MarshalJSON() ([]byte, error) {
+	type alias TaskSet
+	return json.Marshal((*alias)(ts))
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded set.
+func (ts *TaskSet) UnmarshalJSON(data []byte) error {
+	type alias TaskSet
+	if err := json.Unmarshal(data, (*alias)(ts)); err != nil {
+		return err
+	}
+	return ts.Validate()
+}
+
+// String summarizes the set as "TaskSet{N=5, K=2, U(1)=1.23}".
+func (ts *TaskSet) String() string {
+	return fmt.Sprintf("TaskSet{N=%d, K=%d, U(1)=%.3f}", ts.Len(), ts.MaxCrit(), ts.RawUtil())
+}

@@ -1,0 +1,134 @@
+package mc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// dualSet returns a small dual-criticality set with known utilizations:
+//
+//	tau1: LO, u(1)=0.30
+//	tau2: HI, u(1)=0.20, u(2)=0.40
+//	tau3: HI, u(1)=0.10, u(2)=0.25
+func dualSet() *TaskSet {
+	return NewTaskSet(
+		mkTask(1, 10, 1, 3),
+		mkTask(2, 20, 2, 4, 8),
+		mkTask(3, 40, 2, 4, 10),
+	)
+}
+
+func TestTaskSetLevelUtil(t *testing.T) {
+	ts := dualSet()
+	if got := ts.LevelUtil(1, 1); !almost(got, 0.30) {
+		t.Errorf("U_1(1) = %v, want 0.30", got)
+	}
+	if got := ts.LevelUtil(2, 1); !almost(got, 0.30) {
+		t.Errorf("U_2(1) = %v, want 0.30", got)
+	}
+	if got := ts.LevelUtil(2, 2); !almost(got, 0.65) {
+		t.Errorf("U_2(2) = %v, want 0.65", got)
+	}
+}
+
+func TestTaskSetTotalUtilAt(t *testing.T) {
+	ts := dualSet()
+	// U(1) = all tasks at level 1.
+	if got := ts.TotalUtilAt(1); !almost(got, 0.60) {
+		t.Errorf("U(1) = %v, want 0.60", got)
+	}
+	// U(2) = only HI tasks, at level 2.
+	if got := ts.TotalUtilAt(2); !almost(got, 0.65) {
+		t.Errorf("U(2) = %v, want 0.65", got)
+	}
+	if got := ts.RawUtil(); !almost(got, 0.60) {
+		t.Errorf("RawUtil = %v, want 0.60", got)
+	}
+	if got := ts.MaxLoad(); !almost(got, 0.95) {
+		t.Errorf("MaxLoad = %v, want 0.95", got)
+	}
+}
+
+func TestTaskSetMaxCrit(t *testing.T) {
+	if got := dualSet().MaxCrit(); got != 2 {
+		t.Errorf("MaxCrit = %d, want 2", got)
+	}
+	if got := (&TaskSet{}).MaxCrit(); got != 0 {
+		t.Errorf("empty MaxCrit = %d, want 0", got)
+	}
+}
+
+func TestTaskSetByLevel(t *testing.T) {
+	lv := dualSet().ByLevel()
+	if len(lv) != 3 {
+		t.Fatalf("ByLevel len = %d, want 3", len(lv))
+	}
+	if len(lv[1]) != 1 || lv[1][0] != 0 {
+		t.Errorf("L_1 = %v, want [0]", lv[1])
+	}
+	if len(lv[2]) != 2 {
+		t.Errorf("L_2 = %v, want two entries", lv[2])
+	}
+}
+
+func TestTaskSetValidateDuplicateID(t *testing.T) {
+	ts := NewTaskSet(mkTask(7, 10, 1, 1), mkTask(7, 10, 1, 1))
+	if err := ts.Validate(); err == nil {
+		t.Fatal("duplicate IDs not rejected")
+	}
+}
+
+func TestNewTaskSetAssignsIDs(t *testing.T) {
+	ts := NewTaskSet(
+		Task{Period: 10, Crit: 1, WCET: []float64{1}},
+		Task{Period: 20, Crit: 1, WCET: []float64{2}},
+	)
+	if ts.Tasks[0].ID != 1 || ts.Tasks[1].ID != 2 {
+		t.Errorf("IDs = %d,%d, want 1,2", ts.Tasks[0].ID, ts.Tasks[1].ID)
+	}
+}
+
+func TestTaskSetJSONRoundTrip(t *testing.T) {
+	ts := dualSet()
+	data, err := json.Marshal(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TaskSet
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ts.Len() {
+		t.Fatalf("round trip lost tasks: %d != %d", back.Len(), ts.Len())
+	}
+	for i := range ts.Tasks {
+		if !almost(back.Tasks[i].Util(1), ts.Tasks[i].Util(1)) {
+			t.Errorf("task %d changed in round trip", i)
+		}
+	}
+}
+
+func TestTaskSetJSONRejectsInvalid(t *testing.T) {
+	bad := []byte(`{"tasks":[{"id":1,"wcet":[4,2],"period":10,"crit":2}]}`)
+	var ts TaskSet
+	if err := json.Unmarshal(bad, &ts); err == nil {
+		t.Fatal("decreasing WCET vector accepted by UnmarshalJSON")
+	}
+}
+
+func TestTaskSetCloneIsDeep(t *testing.T) {
+	ts := dualSet()
+	cl := ts.Clone()
+	cl.Tasks[0].WCET[0] = 999
+	if ts.Tasks[0].WCET[0] != 3 {
+		t.Fatal("Clone shares task storage")
+	}
+}
+
+func TestTaskSetSortStable(t *testing.T) {
+	ts := dualSet()
+	ts.SortStable(func(a, b *Task) bool { return a.Period > b.Period })
+	if ts.Tasks[0].ID != 3 || ts.Tasks[2].ID != 1 {
+		t.Errorf("sorted order = %d,%d,%d", ts.Tasks[0].ID, ts.Tasks[1].ID, ts.Tasks[2].ID)
+	}
+}

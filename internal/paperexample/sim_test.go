@@ -1,0 +1,18 @@
+package paperexample
+
+import (
+	"catpa/internal/mc"
+	"catpa/internal/sim"
+)
+
+// simulateSubset runs one core's subset under the adversarial
+// worst-case model and returns the number of deadline misses.
+func simulateSubset(sub *mc.TaskSet) int {
+	stats := sim.SimulateCore(sim.CoreConfig{
+		Tasks:   sub.Tasks,
+		K:       Levels,
+		Horizon: 50 * Period,
+		Model:   sim.WorstCaseModel{},
+	})
+	return stats.Missed
+}

@@ -1,0 +1,26 @@
+// Package partition implements the task-to-core partitioning heuristics
+// evaluated by Han et al. (ICPP 2016) for mixed-criticality task sets
+// scheduled per-core with EDF-VD:
+//
+//   - the classical bin-packing heuristics WFD, FFD and BFD, ordering
+//     tasks by decreasing own-level utilization u_i(l_i) and measuring a
+//     core's load by its own-level utilization sum (the Eq. 4 measure);
+//   - the Hybrid scheme of Rodriguez et al. (WRTC 2013): high-criticality
+//     tasks via WFD first, then low-criticality tasks via FFD;
+//   - CA-TPA (Algorithm 1): tasks ordered by decreasing utilization
+//     contribution (Eqs. 12-13), each task probed on every core and
+//     placed where the core utilization U^Psi (Eq. 9) increases least
+//     (Eqs. 14-15), with a workload-imbalance fallback (Eq. 16) that
+//     redirects tasks to the least-loaded feasible core once the
+//     imbalance factor exceeds the threshold alpha.
+//
+// Feasibility on a core is decided by the EDF-VD analysis of package
+// edfvd: the baselines first try the cheap Eq. 4 test and fall back to
+// the Theorem-1 test (as prescribed in Section IV of the paper), while
+// CA-TPA evaluates the Theorem-1 conditions directly, since it needs
+// the Eq. 9 core utilization anyway.
+//
+// The package also exposes ablation switches (ordering policy, probe
+// on/off, alpha) used by the ablation benchmarks to quantify each
+// ingredient of CA-TPA.
+package partition

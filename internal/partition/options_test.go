@@ -1,0 +1,154 @@
+package partition
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"catpa/internal/mc"
+)
+
+func TestEq9LiteralOption(t *testing.T) {
+	// The option must change only the placement metric, never accept
+	// an infeasible partition; across a population both variants stay
+	// valid and the literal one is (weakly) worse on acceptance.
+	rng := rand.New(rand.NewSource(17))
+	bestWins, literalWins := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		ts := randomSet(rng, 40, 4, 4, 0.55+0.15*rng.Float64())
+		rBest := Partition(ts, 4, 4, CATPA, nil)
+		rLit := Partition(ts, 4, 4, CATPA, &Options{Eq9Literal: true})
+		if err := rBest.Verify(ts); err != nil {
+			t.Fatal(err)
+		}
+		if err := rLit.Verify(ts); err != nil {
+			t.Fatal(err)
+		}
+		if rBest.Feasible && !rLit.Feasible {
+			bestWins++
+		}
+		if rLit.Feasible && !rBest.Feasible {
+			literalWins++
+		}
+	}
+	if bestWins+literalWins == 0 {
+		t.Skip("population too easy to separate the metrics")
+	}
+	if literalWins > bestWins {
+		t.Errorf("literal Eq.9 reading won %d vs %d — contradicts the calibration", literalWins, bestWins)
+	}
+	t.Logf("best-condition wins %d, literal wins %d over 200 sets", bestWins, literalWins)
+}
+
+func TestHybridMultiLevelSplit(t *testing.T) {
+	// For K=4 the Hybrid scheme treats every task with crit >= 2 as
+	// high-criticality (WFD pass) and crit 1 as low (FFD pass).
+	ts := &mc.TaskSet{Tasks: []mc.Task{
+		mkTask(1, 100, 4, 5, 7, 10, 14),
+		mkTask(2, 100, 3, 5, 7, 10),
+		mkTask(3, 100, 2, 5, 7),
+		mkTask(4, 100, 1, 20),
+		mkTask(5, 100, 1, 20),
+	}}
+	r := Partition(ts, 2, 4, Hybrid, &Options{Trace: true})
+	if !r.Feasible {
+		t.Fatal("infeasible")
+	}
+	// The three MC tasks must be allocated before the two LO tasks.
+	for i, s := range r.Trace {
+		if i < 3 && ts.Tasks[s.Task].Crit < 2 {
+			t.Errorf("step %d allocated LO task before HI pass finished", i)
+		}
+		if i >= 3 && ts.Tasks[s.Task].Crit >= 2 {
+			t.Errorf("step %d allocated HI task during LO pass", i)
+		}
+	}
+}
+
+func TestResultStringForms(t *testing.T) {
+	ts := loSet(2, 0.4)
+	ok := Partition(ts, 2, 1, FFD, nil)
+	if s := ok.String(); !strings.Contains(s, "Usys") {
+		t.Errorf("feasible String = %q", s)
+	}
+	bad := Partition(loSet(3, 0.8), 2, 1, FFD, nil)
+	if s := bad.String(); !strings.Contains(s, "INFEASIBLE") {
+		t.Errorf("infeasible String = %q", s)
+	}
+}
+
+func TestResultSubsets(t *testing.T) {
+	ts := loSet(4, 0.3)
+	r := Partition(ts, 2, 1, WFD, nil)
+	subs := r.Subsets(ts)
+	if len(subs) != 2 {
+		t.Fatalf("subsets = %d", len(subs))
+	}
+	total := 0
+	for _, s := range subs {
+		total += s.Len()
+	}
+	if total != ts.Len() {
+		t.Errorf("subsets cover %d of %d tasks", total, ts.Len())
+	}
+	// Deep copies: mutating a subset must not touch the original.
+	subs[0].Tasks[0].WCET[0] = 999
+	for i := range ts.Tasks {
+		if ts.Tasks[i].WCET[0] == 999 {
+			t.Fatal("Subsets shares storage with the source set")
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	ts := loSet(4, 0.3)
+	r := Partition(ts, 2, 1, FFD, nil)
+	if err := r.Verify(ts); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the assignment in ways Verify must flag.
+	bad := *r
+	bad.Assignment = append([]int(nil), r.Assignment...)
+	bad.Assignment[0] = 7 // out of range
+	if err := bad.Verify(ts); err == nil {
+		t.Error("invalid core index not caught")
+	}
+	bad.Assignment[0] = -1 // unplaced but feasible
+	if err := bad.Verify(ts); err == nil {
+		t.Error("unplaced task in feasible result not caught")
+	}
+	short := *r
+	short.Assignment = r.Assignment[:1]
+	if err := short.Verify(ts); err == nil {
+		t.Error("truncated assignment not caught")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o *Options
+	if o.alpha() != DefaultAlpha {
+		t.Errorf("nil options alpha = %v", o.alpha())
+	}
+	if o.noProbe() || o.trace() || o.eq9Literal() {
+		t.Error("nil options enable switches")
+	}
+	if (&Options{}).order(ContributionOrder) != ContributionOrder {
+		t.Error("zero Options override default order")
+	}
+	if (&Options{Order: MaxUtilOrder}).order(ContributionOrder) != MaxUtilOrder {
+		t.Error("explicit order ignored")
+	}
+}
+
+func TestCATPANoProbeOption(t *testing.T) {
+	// NoProbe places on the first feasible core: identical tasks all
+	// land on core 0 until it would become infeasible.
+	ts := loSet(4, 0.3)
+	r := Partition(ts, 2, 1, CATPA, &Options{NoProbe: true, Alpha: InfAlpha()})
+	if !r.Feasible {
+		t.Fatal("infeasible")
+	}
+	if len(r.Cores[0].Tasks) != 3 || len(r.Cores[1].Tasks) != 1 {
+		t.Errorf("core sizes = %d,%d, want 3,1", len(r.Cores[0].Tasks), len(r.Cores[1].Tasks))
+	}
+}

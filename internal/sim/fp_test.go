@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+
+	"catpa/internal/mc"
+)
+
+func TestFPDispatchOrder(t *testing.T) {
+	// Two tasks released together; under FP with task 1 ranked first
+	// the lower-ranked task 0 waits even though its deadline is
+	// earlier (priority inversion relative to EDF — by construction).
+	tasks := []mc.Task{
+		mkTask(1, 10, 1, 2), // would win under EDF (deadline 10)
+		mkTask(2, 50, 1, 5), // ranked highest under the forced order
+	}
+	st := SimulateCore(CoreConfig{
+		Tasks:         tasks,
+		K:             1,
+		Horizon:       50,
+		Model:         NominalModel{},
+		FixedPriority: true,
+		Priorities:    []int{1, 0}, // task index 1 first
+	})
+	// Task 0's first job completes at 7 (waits for task 1's 5 units);
+	// response 7 instead of EDF's 2.
+	if st.MaxResponse[0] < 7-1e-6 {
+		t.Errorf("task 0 max response = %v, want >= 7 (priority inversion)", st.MaxResponse[0])
+	}
+	if st.Missed != 0 {
+		t.Errorf("missed = %d", st.Missed)
+	}
+	if st.PlainEDF {
+		t.Error("PlainEDF reported under fixed-priority dispatching")
+	}
+}
+
+func TestFPPanicsOnBadPriorities(t *testing.T) {
+	tasks := []mc.Task{mkTask(1, 10, 1, 2), mkTask(2, 20, 1, 2)}
+	cases := map[string][]int{
+		"wrong length": {0},
+		"duplicate":    {0, 0},
+		"out of range": {0, 5},
+	}
+	for name, prio := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			SimulateCore(CoreConfig{
+				Tasks: tasks, K: 1, Horizon: 10,
+				FixedPriority: true, Priorities: prio,
+			})
+		}()
+	}
+}
+
+func TestFPModeSwitchStillDrops(t *testing.T) {
+	// AMC behaviour is dispatcher-independent: the HI overrun must
+	// drop the LO task under FP too.
+	tasks := []mc.Task{
+		mkTask(1, 20, 2, 2, 8),
+		mkTask(2, 20, 1, 4),
+	}
+	st := SimulateCore(CoreConfig{
+		Tasks:         tasks,
+		K:             2,
+		Horizon:       200,
+		Model:         WorstCaseModel{},
+		FixedPriority: true,
+		Priorities:    []int{0, 1},
+	})
+	if st.ModeSwitches == 0 {
+		t.Error("no mode switches")
+	}
+	if st.DroppedJobs+st.SkippedReleases == 0 {
+		t.Error("LO work not dropped under FP")
+	}
+	if st.Missed != 0 {
+		t.Errorf("missed = %d", st.Missed)
+	}
+}
+
+func TestMaxResponseUnderEDF(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(1, 10, 1, 3),
+		mkTask(2, 25, 1, 5),
+	}
+	st := SimulateCore(CoreConfig{
+		Tasks:   tasks,
+		K:       1,
+		Horizon: 500,
+		Model:   NominalModel{},
+	})
+	if len(st.MaxResponse) != 2 {
+		t.Fatalf("MaxResponse length %d", len(st.MaxResponse))
+	}
+	// Responses are at least the WCET and at most the period (no
+	// misses occurred).
+	for i, tk := range tasks {
+		if st.MaxResponse[i] < tk.C(1)-1e-9 || st.MaxResponse[i] > tk.Period+1e-9 {
+			t.Errorf("task %d max response %v outside [C, T]", i, st.MaxResponse[i])
+		}
+	}
+}

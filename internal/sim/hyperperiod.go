@@ -1,0 +1,38 @@
+package sim
+
+import "catpa/internal/mc"
+
+// HyperperiodHorizon returns the hyperperiod (least common multiple of
+// the task periods) when every period is a positive integer and the
+// LCM does not exceed maxHorizon; ok reports success. For synchronous
+// periodic releases and a deterministic execution model, the schedule
+// repeats with the hyperperiod once the system returns to its initial
+// state, so simulating a single hyperperiod (plus one more to confirm
+// steady state — see TestHyperperiodExactness) certifies the absence
+// of deadline misses for all time. Non-integer periods or an oversized
+// LCM return ok = false; callers then fall back to DefaultHorizon.
+func HyperperiodHorizon(tasks []mc.Task, maxHorizon float64) (float64, bool) {
+	if len(tasks) == 0 {
+		return 0, false
+	}
+	lcm := int64(1)
+	for i := range tasks {
+		p := tasks[i].Period
+		ip := int64(p)
+		if p <= 0 || float64(ip) != p {
+			return 0, false // non-integer period
+		}
+		lcm = lcm / gcd(lcm, ip) * ip
+		if float64(lcm) > maxHorizon {
+			return 0, false
+		}
+	}
+	return float64(lcm), true
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

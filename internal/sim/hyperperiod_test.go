@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"catpa/internal/edfvd"
+	"catpa/internal/mc"
+)
+
+func TestHyperperiodHorizon(t *testing.T) {
+	tasks := []mc.Task{
+		mkTask(1, 10, 1, 1),
+		mkTask(2, 15, 1, 1),
+		mkTask(3, 12, 1, 1),
+	}
+	h, ok := HyperperiodHorizon(tasks, 1e6)
+	if !ok || h != 60 {
+		t.Fatalf("hyperperiod = %v ok=%v, want 60", h, ok)
+	}
+	// Non-integer period.
+	frac := []mc.Task{mkTask(1, 10.5, 1, 1)}
+	if _, ok := HyperperiodHorizon(frac, 1e6); ok {
+		t.Error("non-integer period accepted")
+	}
+	// Oversized LCM.
+	big := []mc.Task{mkTask(1, 1999, 1, 1), mkTask(2, 1993, 1, 1), mkTask(3, 1997, 1, 1)}
+	if _, ok := HyperperiodHorizon(big, 1e6); ok {
+		t.Error("oversized LCM accepted")
+	}
+	// Empty set.
+	if _, ok := HyperperiodHorizon(nil, 1e6); ok {
+		t.Error("empty set accepted")
+	}
+}
+
+// intPeriodFeasibleSubset builds a Theorem-1-feasible subset whose
+// periods are small integers with a bounded hyperperiod.
+func intPeriodFeasibleSubset(rng *rand.Rand, k int) []mc.Task {
+	periods := []float64{10, 20, 25, 40, 50, 100}
+	m := mc.NewUtilMatrix(k)
+	var tasks []mc.Task
+	for id := 1; id <= 25; id++ {
+		crit := 1 + rng.Intn(k)
+		p := periods[rng.Intn(len(periods))]
+		w := make([]float64, crit)
+		c := (0.03 + rng.Float64()*0.15) * p
+		for i := range w {
+			w[i] = c
+			c *= 1.4
+		}
+		tk := mc.Task{ID: id, Period: p, Crit: crit, WCET: w}
+		if tk.MaxUtil() > 1 {
+			continue
+		}
+		m.Add(&tk)
+		if !edfvd.Feasible(m) {
+			m.Remove(&tk)
+			continue
+		}
+		tasks = append(tasks, tk)
+	}
+	return tasks
+}
+
+// TestHyperperiodExactness certifies accepted subsets exactly: under
+// the deterministic worst-case model with synchronous release, the
+// per-hyperperiod statistics of the second hyperperiod must equal
+// those of the first (steady state), and no hyperperiod contains a
+// miss — which extends the zero-miss guarantee to all time.
+func TestHyperperiodExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	validated := 0
+	for trial := 0; trial < 60; trial++ {
+		k := 2 + rng.Intn(3)
+		tasks := intPeriodFeasibleSubset(rng, k)
+		if len(tasks) == 0 {
+			continue
+		}
+		h, ok := HyperperiodHorizon(tasks, 1e5)
+		if !ok {
+			continue
+		}
+		one := SimulateCore(CoreConfig{Tasks: tasks, K: k, Horizon: h, Model: WorstCaseModel{}})
+		two := SimulateCore(CoreConfig{Tasks: tasks, K: k, Horizon: 2 * h, Model: WorstCaseModel{}})
+		if one.Missed != 0 || two.Missed != 0 {
+			t.Fatalf("trial %d: misses in hyperperiod simulation (%d, %d)", trial, one.Missed, two.Missed)
+		}
+		// Steady state: the second hyperperiod repeats the first.
+		if two.Released != 2*one.Released {
+			t.Fatalf("trial %d: releases not periodic: %d vs 2x%d", trial, two.Released, one.Released)
+		}
+		if two.Completed+two.DroppedJobs+two.SkippedReleases !=
+			2*(one.Completed+one.DroppedJobs+one.SkippedReleases) {
+			t.Fatalf("trial %d: settled-job counts not periodic", trial)
+		}
+		validated++
+	}
+	if validated == 0 {
+		t.Fatal("no subset validated — construction broken")
+	}
+	t.Logf("exactly certified %d subsets over full hyperperiods", validated)
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math/rand"
+
+	"catpa/internal/mc"
+)
+
+// ExecModel decides how long each job actually executes. Returned
+// times are clamped by the engine to (0, c_i(l_i)]: a job exceeding
+// its own-criticality WCET would be an erroneous system, outside every
+// MC guarantee.
+type ExecModel interface {
+	// ExecTime returns the execution demand of the job-th job of task t.
+	ExecTime(t *mc.Task, job int) float64
+}
+
+// NominalModel runs every job for Fraction * c_i(1) (Fraction in
+// (0, 1]; zero means 1.0). No mode switch ever occurs under this model.
+type NominalModel struct {
+	Fraction float64
+}
+
+// ExecTime implements ExecModel.
+func (m NominalModel) ExecTime(t *mc.Task, _ int) float64 {
+	f := m.Fraction
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	return f * t.C(1)
+}
+
+// WorstCaseModel runs every job to its own-criticality WCET c_i(l_i).
+// Any task with criticality above 1 therefore overruns every lower
+// budget and drives the core to the task's own level; this is the
+// adversarial scenario the schedulability analysis must survive.
+type WorstCaseModel struct{}
+
+// ExecTime implements ExecModel.
+func (WorstCaseModel) ExecTime(t *mc.Task, _ int) float64 {
+	return t.C(t.Crit)
+}
+
+// LevelModel runs every job to its level-Min(Level, l_i) budget: with
+// Level = k the system experiences exactly the level-k behaviour
+// (jobs complete at their level-k WCETs, never beyond), so mode
+// switches stop at level k.
+type LevelModel struct {
+	Level int
+}
+
+// ExecTime implements ExecModel.
+func (m LevelModel) ExecTime(t *mc.Task, _ int) float64 {
+	k := m.Level
+	if k < 1 {
+		k = 1
+	}
+	return t.C(k)
+}
+
+// RandomModel draws each job's demand uniformly from
+// [MinFraction, 1] * c_i(1) and, with probability OverrunProb,
+// escalates it to the task's own-criticality WCET instead. A nil Rand
+// panics at first use; construct with NewRandomModel for a seeded
+// source.
+type RandomModel struct {
+	MinFraction float64
+	OverrunProb float64
+	Rand        *rand.Rand
+}
+
+// NewRandomModel returns a RandomModel with its own deterministic
+// source.
+func NewRandomModel(minFraction, overrunProb float64, seed int64) *RandomModel {
+	return &RandomModel{
+		MinFraction: minFraction,
+		OverrunProb: overrunProb,
+		Rand:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// ExecTime implements ExecModel.
+func (m *RandomModel) ExecTime(t *mc.Task, _ int) float64 {
+	if m.OverrunProb > 0 && m.Rand.Float64() < m.OverrunProb {
+		return t.C(t.Crit)
+	}
+	lo := m.MinFraction
+	if lo <= 0 || lo > 1 {
+		lo = 0.3
+	}
+	f := lo + m.Rand.Float64()*(1-lo)
+	return f * t.C(1)
+}

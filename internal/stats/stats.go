@@ -1,0 +1,130 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming mean/variance accumulators (Welford),
+// Bernoulli ratio accumulators with normal-approximation confidence
+// intervals, and order-independent merging so that parallel workers
+// can be combined deterministically.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean is a streaming mean/variance accumulator using Welford's
+// algorithm. The zero value is ready to use.
+type Mean struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add accumulates one observation.
+func (a *Mean) Add(x float64) {
+	a.n++
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Mean) N() int64 { return a.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (a *Mean) Mean() float64 { return a.mean }
+
+// Var returns the unbiased sample variance.
+func (a *Mean) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Mean) Std() float64 { return math.Sqrt(a.Var()) }
+
+// SE returns the standard error of the mean.
+func (a *Mean) SE() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Std() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the
+// mean (normal approximation).
+func (a *Mean) CI95() float64 { return 1.96 * a.SE() }
+
+// Merge folds another accumulator into a (Chan et al. parallel update).
+func (a *Mean) Merge(b *Mean) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.mean += d * float64(b.n) / float64(n)
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.n = n
+}
+
+// String renders "mean ± ci95 (n)".
+func (a *Mean) String() string {
+	return fmt.Sprintf("%.4f±%.4f (n=%d)", a.Mean(), a.CI95(), a.n)
+}
+
+// Ratio accumulates Bernoulli outcomes (e.g. schedulable / not).
+type Ratio struct {
+	hits, total int64
+}
+
+// Add accumulates one outcome.
+func (r *Ratio) Add(hit bool) {
+	r.total++
+	if hit {
+		r.hits++
+	}
+}
+
+// AddN accumulates a batch.
+func (r *Ratio) AddN(hits, total int64) {
+	r.hits += hits
+	r.total += total
+}
+
+// Hits returns the number of positive outcomes; N the total.
+func (r *Ratio) Hits() int64 { return r.hits }
+
+// N returns the number of trials.
+func (r *Ratio) N() int64 { return r.total }
+
+// Value returns the ratio (0 for empty).
+func (r *Ratio) Value() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	return float64(r.hits) / float64(r.total)
+}
+
+// CI95 returns the half-width of the 95% Wald interval.
+func (r *Ratio) CI95() float64 {
+	if r.total == 0 {
+		return 0
+	}
+	p := r.Value()
+	return 1.96 * math.Sqrt(p*(1-p)/float64(r.total))
+}
+
+// Merge folds b into r.
+func (r *Ratio) Merge(b *Ratio) {
+	r.hits += b.hits
+	r.total += b.total
+}
+
+// String renders "0.8123±0.0034 (n)".
+func (r *Ratio) String() string {
+	return fmt.Sprintf("%.4f±%.4f (n=%d)", r.Value(), r.CI95(), r.total)
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanBasics(t *testing.T) {
+	var m Mean
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		m.Add(x)
+	}
+	if m.N() != 5 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if !almost(m.Mean(), 3, 1e-12) {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	if !almost(m.Var(), 2.5, 1e-12) {
+		t.Errorf("var = %v", m.Var())
+	}
+	if !almost(m.Std(), math.Sqrt(2.5), 1e-12) {
+		t.Errorf("std = %v", m.Std())
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	var m Mean
+	if m.Mean() != 0 || m.Var() != 0 || m.SE() != 0 || m.CI95() != 0 {
+		t.Error("empty accumulator not all-zero")
+	}
+}
+
+func TestMeanSingle(t *testing.T) {
+	var m Mean
+	m.Add(7)
+	if m.Var() != 0 {
+		t.Errorf("var of single obs = %v", m.Var())
+	}
+}
+
+// TestMeanMergeEquivalence: merging two accumulators equals
+// accumulating the concatenation.
+func TestMeanMergeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b, all Mean
+		na, nb := 1+rng.Intn(50), 1+rng.Intn(50)
+		for i := 0; i < na; i++ {
+			x := rng.NormFloat64()*3 + 1
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < nb; i++ {
+			x := rng.NormFloat64()*0.5 - 2
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			almost(a.Mean(), all.Mean(), 1e-9) &&
+			almost(a.Var(), all.Var(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMergeEmptyCases(t *testing.T) {
+	var a, b Mean
+	a.Add(5)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Error("merge with empty changed accumulator")
+	}
+	var c Mean
+	c.Merge(&a) // merging into empty copies
+	if c.N() != 1 || c.Mean() != 5 {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+func TestRatioBasics(t *testing.T) {
+	var r Ratio
+	for i := 0; i < 10; i++ {
+		r.Add(i < 7)
+	}
+	if r.N() != 10 || r.Hits() != 7 {
+		t.Fatalf("N=%d hits=%d", r.N(), r.Hits())
+	}
+	if !almost(r.Value(), 0.7, 1e-12) {
+		t.Errorf("value = %v", r.Value())
+	}
+	want := 1.96 * math.Sqrt(0.7*0.3/10)
+	if !almost(r.CI95(), want, 1e-12) {
+		t.Errorf("ci = %v, want %v", r.CI95(), want)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestRatioEmpty(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 || r.CI95() != 0 {
+		t.Error("empty ratio not zero")
+	}
+}
+
+func TestRatioMergeAndAddN(t *testing.T) {
+	var a, b Ratio
+	a.AddN(3, 10)
+	b.AddN(4, 5)
+	a.Merge(&b)
+	if a.N() != 15 || a.Hits() != 7 {
+		t.Fatalf("merged N=%d hits=%d", a.N(), a.Hits())
+	}
+}
+
+// TestCIShrinks: the confidence interval half-width decreases with
+// sample size.
+func TestCIShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Mean
+	for i := 0; i < 20; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 2000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("ci did not shrink: %v -> %v", small.CI95(), large.CI95())
+	}
+}

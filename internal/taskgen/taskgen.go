@@ -1,0 +1,191 @@
+// Package taskgen generates synthetic mixed-criticality task sets
+// following the protocol of Han et al. (ICPP 2016), Section IV-A and
+// Table IV:
+//
+//   - base level-1 utilization u_base = NSU * M / N;
+//   - per task: period drawn from one of three ranges ([50,200],
+//     [200,500], [500,2000]), itself chosen uniformly at random;
+//   - c_i(1) uniform in [0.2, 1.8] * p_i * u_base;
+//   - criticality level l_i uniform in {1..K};
+//   - c_i(k) = c_i(k-1) * (1 + IFC), with the increment factor IFC
+//     either fixed or drawn per task from a range.
+//
+// Generation is fully deterministic given a Config and a seed, and a
+// (seed, index) pair identifies one task set of a replicated
+// experiment, so parallel and serial sweeps produce identical sets.
+package taskgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"catpa/internal/mc"
+)
+
+// Range is a closed interval [Lo, Hi].
+type Range struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the range (inclusive).
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// sample draws uniformly from the range.
+func (r Range) sample(rng *rand.Rand) float64 {
+	return r.Lo + rng.Float64()*(r.Hi-r.Lo)
+}
+
+// IntRange is a closed integer interval.
+type IntRange struct {
+	Lo, Hi int
+}
+
+func (r IntRange) sample(rng *rand.Rand) int {
+	if r.Hi <= r.Lo {
+		return r.Lo
+	}
+	return r.Lo + rng.Intn(r.Hi-r.Lo+1)
+}
+
+// DefaultPeriodRanges are the three period ranges of Table IV.
+func DefaultPeriodRanges() []Range {
+	return []Range{{50, 200}, {200, 500}, {500, 2000}}
+}
+
+// Config describes one workload family. The zero value is not valid;
+// use DefaultConfig and override fields.
+type Config struct {
+	// M is the number of cores the set is meant for (used only to
+	// scale u_base; the generator does not partition).
+	M int
+
+	// K is the number of system criticality levels.
+	K int
+
+	// N is the number-of-tasks range; the paper draws N uniformly
+	// from [40, 200] unless a specific N is under study.
+	N IntRange
+
+	// NSU is the normalized system utilization: aggregate level-1
+	// utilization divided by M.
+	NSU float64
+
+	// IFC is the WCET increment-factor range; a degenerate range
+	// (Lo == Hi) yields the fixed default 0.4 of the paper.
+	IFC Range
+
+	// Periods lists the candidate period ranges; one is chosen
+	// uniformly per task.
+	Periods []Range
+
+	// CritSpread forces criticality levels to be drawn uniformly from
+	// {1..K} (the paper's rule). It exists so tests can pin levels.
+	// When non-nil, CritOf(i, rng) overrides the draw for task i.
+	CritOf func(i int, rng *rand.Rand) int
+}
+
+// DefaultConfig returns the paper's default parameter point:
+// M=8, K=4, NSU=0.6, IFC=0.4, N ~ U[40,200], Table IV periods.
+func DefaultConfig() Config {
+	return Config{
+		M:       8,
+		K:       4,
+		N:       IntRange{40, 200},
+		NSU:     0.6,
+		IFC:     Range{0.4, 0.4},
+		Periods: DefaultPeriodRanges(),
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.M < 1:
+		return fmt.Errorf("taskgen: M=%d < 1", c.M)
+	case c.K < 1:
+		return fmt.Errorf("taskgen: K=%d < 1", c.K)
+	case c.N.Lo < 1 || c.N.Hi < c.N.Lo:
+		return fmt.Errorf("taskgen: invalid N range [%d,%d]", c.N.Lo, c.N.Hi)
+	case c.NSU <= 0:
+		return fmt.Errorf("taskgen: NSU=%v <= 0", c.NSU)
+	case c.IFC.Lo < 0 || c.IFC.Hi < c.IFC.Lo:
+		return fmt.Errorf("taskgen: invalid IFC range [%v,%v]", c.IFC.Lo, c.IFC.Hi)
+	case len(c.Periods) == 0:
+		return fmt.Errorf("taskgen: no period ranges")
+	}
+	for _, p := range c.Periods {
+		if p.Lo <= 0 || p.Hi < p.Lo {
+			return fmt.Errorf("taskgen: invalid period range [%v,%v]", p.Lo, p.Hi)
+		}
+	}
+	return nil
+}
+
+// Generate produces one task set from the config using the given
+// random source. WCET vectors are capped so that no task's own-level
+// utilization exceeds 1 (an unschedulable-by-construction task would
+// make the whole set trivially infeasible for every heuristic and
+// carry no information; the paper's parameters make such draws rare).
+func Generate(cfg *Config, rng *rand.Rand) *mc.TaskSet {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.N.sample(rng)
+	uBase := cfg.NSU * float64(cfg.M) / float64(n)
+	ts := &mc.TaskSet{Tasks: make([]mc.Task, 0, n)}
+	for i := 0; i < n; i++ {
+		ts.Tasks = append(ts.Tasks, genTask(cfg, rng, i+1, uBase))
+	}
+	return ts
+}
+
+// GenerateIndexed produces the idx-th task set of a replicated
+// experiment rooted at baseSeed. Each index gets an independent,
+// deterministic stream, so replication can be parallelized while
+// remaining reproducible.
+func GenerateIndexed(cfg *Config, baseSeed int64, idx int) *mc.TaskSet {
+	rng := rand.New(rand.NewSource(mix(baseSeed, int64(idx))))
+	return Generate(cfg, rng)
+}
+
+// genTask draws one task.
+func genTask(cfg *Config, rng *rand.Rand, id int, uBase float64) mc.Task {
+	pr := cfg.Periods[rng.Intn(len(cfg.Periods))]
+	p := pr.sample(rng)
+	c1 := (0.2 + rng.Float64()*1.6) * p * uBase
+	crit := 1 + rng.Intn(cfg.K)
+	if cfg.CritOf != nil {
+		crit = cfg.CritOf(id-1, rng)
+	}
+	ifc := cfg.IFC.sample(rng)
+	w := make([]float64, crit)
+	c := c1
+	for k := 0; k < crit; k++ {
+		w[k] = c
+		c *= 1 + ifc
+	}
+	// Cap the own-level utilization at 1 by truncating the WCET
+	// growth; the level-1 value is preserved so NSU stays exact.
+	for k := 1; k < crit; k++ {
+		if w[k] > p {
+			w[k] = p
+		}
+	}
+	if w[0] > p {
+		w[0] = p
+		for k := 1; k < crit; k++ {
+			w[k] = p
+		}
+	}
+	return mc.Task{ID: id, Period: p, Crit: crit, WCET: w}
+}
+
+// mix combines a base seed and an index into a well-spread 63-bit
+// seed (SplitMix64 finalizer).
+func mix(seed, idx int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(idx) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z &^ (1 << 63))
+}

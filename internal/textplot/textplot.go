@@ -1,0 +1,225 @@
+// Package textplot renders experiment results as aligned text tables,
+// ASCII line charts and CSV, so every figure of the paper can be
+// regenerated on a terminal without plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labelled line of a chart: Y values over the shared X
+// axis of a Chart.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Chart is a set of series over a common X axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Table renders the chart as an aligned text table: one row per X
+// value, one column per series.
+func (c *Chart) Table() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-10s", c.XLabel)
+	for _, s := range c.Series {
+		fmt.Fprintf(&b, " %12s", s.Label)
+	}
+	b.WriteByte('\n')
+	for i, x := range c.X {
+		fmt.Fprintf(&b, "%-10s", trimFloat(x))
+		for _, s := range c.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %12.4f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the chart as comma-separated values with a header row.
+func (c *Chart) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(c.XLabel))
+	for _, s := range c.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Label))
+	}
+	b.WriteByte('\n')
+	for i, x := range c.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range c.Series {
+			b.WriteByte(',')
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "%g", s.Y[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Plot renders an ASCII line chart of the series, height rows tall
+// (minimum 5; 0 selects 16). Each series is drawn with its own marker
+// character; a legend follows the chart.
+func (c *Chart) Plot(height int) string {
+	if height <= 0 {
+		height = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	width := len(c.X)
+	if width == 0 || len(c.Series) == 0 {
+		return "(empty chart)\n"
+	}
+	colWidth := 3
+	lo, hi := c.yRange()
+	if hi-lo < 1e-12 {
+		hi = lo + 1
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width*colWidth))
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		for i, y := range s.Y {
+			if i >= width || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			row := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][i*colWidth+1] = mark
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, rowBytes := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s\n", yVal, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width*colWidth))
+	fmt.Fprintf(&b, "%8s  ", "")
+	for _, x := range c.X {
+		lbl := trimFloat(x)
+		if len(lbl) > colWidth {
+			lbl = lbl[:colWidth]
+		}
+		fmt.Fprintf(&b, "%-*s", colWidth, lbl)
+	}
+	b.WriteByte('\n')
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+func (c *Chart) yRange() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	return lo, hi
+}
+
+// trimFloat formats a float compactly ("0.6", "16", "0.45").
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4g", x)
+	return s
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// AlignedTable renders rows of cells with left-aligned, padded
+// columns; the first row is treated as a header and underlined.
+func AlignedTable(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(rows[0])
+	total := -2
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the sorted keys of a string-keyed map; a helper
+// for deterministic output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,140 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Fig. X(a) schedulability ratio",
+		XLabel: "NSU",
+		YLabel: "ratio",
+		X:      []float64{0.4, 0.5, 0.6, 0.7, 0.8},
+		Series: []Series{
+			{Label: "CA-TPA", Y: []float64{1, 0.98, 0.9, 0.6, 0.2}},
+			{Label: "FFD", Y: []float64{1, 0.95, 0.8, 0.45, 0.1}},
+		},
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := sampleChart().Table()
+	for _, want := range []string{"NSU", "CA-TPA", "FFD", "0.4", "0.9000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // title + header + 5 rows
+		t.Errorf("table has %d lines, want 7", len(lines))
+	}
+}
+
+func TestTableRaggedSeries(t *testing.T) {
+	c := sampleChart()
+	c.Series[1].Y = c.Series[1].Y[:3]
+	out := c.Table()
+	if !strings.Contains(out, "-") {
+		t.Error("ragged series not padded with '-'")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := sampleChart().CSV()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("CSV has %d lines, want 6", len(lines))
+	}
+	if lines[0] != "NSU,CA-TPA,FFD" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.4,1,1") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	c := &Chart{
+		XLabel: `x,with"comma`,
+		X:      []float64{1},
+		Series: []Series{{Label: "ok", Y: []float64{2}}},
+	}
+	out := c.CSV()
+	if !strings.Contains(out, `"x,with""comma"`) {
+		t.Errorf("escaping broken: %q", out)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	out := sampleChart().Plot(10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("plot missing series markers")
+	}
+	if !strings.Contains(out, "CA-TPA") {
+		t.Error("plot missing legend")
+	}
+	// 10 grid rows + axis + labels + title + 2 legend lines.
+	lines := strings.Count(out, "\n")
+	if lines < 14 {
+		t.Errorf("plot has %d lines", lines)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	empty := &Chart{}
+	if out := empty.Plot(0); !strings.Contains(out, "empty") {
+		t.Errorf("empty chart: %q", out)
+	}
+	flat := &Chart{
+		X:      []float64{1, 2},
+		Series: []Series{{Label: "flat", Y: []float64{3, 3}}},
+	}
+	if out := flat.Plot(6); out == "" {
+		t.Error("flat chart empty output")
+	}
+	nan := &Chart{
+		X:      []float64{1, 2},
+		Series: []Series{{Label: "nan", Y: []float64{math.NaN(), math.Inf(1)}}},
+	}
+	if out := nan.Plot(6); out == "" {
+		t.Error("nan chart empty output")
+	}
+}
+
+func TestPlotHeightClamped(t *testing.T) {
+	out := sampleChart().Plot(2)
+	if strings.Count(out, "|") < 5 {
+		t.Error("height not clamped up to 5")
+	}
+}
+
+func TestAlignedTable(t *testing.T) {
+	out := AlignedTable([][]string{
+		{"scheme", "ratio"},
+		{"CA-TPA", "0.91"},
+		{"FFD", "0.85"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "scheme") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if AlignedTable(nil) != "" {
+		t.Error("nil rows should render empty")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
