@@ -1,0 +1,29 @@
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race lint fuzz check fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mclint ./...
+
+fuzz:
+	$(GO) test ./internal/edfvd -run='^$$' -fuzz='^FuzzTheorem1Feasible$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/edfvd -run='^$$' -fuzz='^FuzzDualAgreement$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/taskgen -run='^$$' -fuzz='^FuzzGenerate$$' -fuzztime=$(FUZZTIME)
+
+fmt:
+	gofmt -w .
+
+# check is the full tier-2 gate: fmt/vet/mclint/race tests/short fuzz.
+check:
+	scripts/check.sh $(FUZZTIME)

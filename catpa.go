@@ -57,6 +57,20 @@ type (
 	Contribution = mc.Contribution
 )
 
+// NewTask constructs a validated task: the criticality level is
+// len(wcet), the WCET vector must be non-decreasing, the period
+// positive. It is the sanctioned way to build tasks (raw Task literals
+// are rejected by mclint outside internal/mc and tests).
+func NewTask(id int, name string, period float64, wcet ...float64) (Task, error) {
+	return mc.NewTask(id, name, period, wcet...)
+}
+
+// MustTask is NewTask panicking on invalid parameters; convenient for
+// hand-built workloads whose parameters are valid by construction.
+func MustTask(id int, name string, period float64, wcet ...float64) Task {
+	return mc.MustTask(id, name, period, wcet...)
+}
+
 // NewTaskSet builds a task set, assigning sequential IDs to tasks
 // whose ID is zero.
 func NewTaskSet(tasks ...Task) *TaskSet { return mc.NewTaskSet(tasks...) }

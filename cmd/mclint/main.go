@@ -1,0 +1,161 @@
+// Command mclint runs the repository's domain-aware static analysis
+// (see internal/lint) over the module:
+//
+//	go run ./cmd/mclint ./...            # whole module
+//	go run ./cmd/mclint ./internal/...   # subtree
+//	go run ./cmd/mclint -disable=feasdoc ./...
+//	go run ./cmd/mclint -list            # describe the rules
+//
+// Findings are printed as file:line:col with the offending rule; the
+// exit status is 1 when any finding survives, 2 on load errors.
+// Suppress a single finding with a preceding comment:
+//
+//	//lint:ignore mclint/<rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"catpa/internal/lint"
+)
+
+func main() {
+	disable := flag.String("disable", "", "comma-separated rule names to disable")
+	list := flag.Bool("list", false, "list the available rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: mclint [-disable=rule,...] [-list] [packages]\n\npackages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(*disable, *list, flag.Args()))
+}
+
+func run(disable string, list bool, patterns []string) int {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclint:", err)
+		return 2
+	}
+	rules := lint.DefaultRules(loader.ModulePath)
+
+	if list {
+		for _, r := range rules {
+			fmt.Printf("%-12s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+
+	disabled := make(map[string]bool)
+	for _, name := range strings.Split(disable, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			disabled[name] = true
+		}
+	}
+	known := make(map[string]bool)
+	for _, n := range lint.RuleNames(loader.ModulePath) {
+		known[n] = true
+	}
+	for name := range disabled {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "mclint: unknown rule %q in -disable (try -list)\n", name)
+			return 2
+		}
+	}
+	enabled := rules[:0]
+	for _, r := range rules {
+		if !disabled[r.Name()] {
+			enabled = append(enabled, r)
+		}
+	}
+
+	pkgs, err := loader.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclint:", err)
+		return 2
+	}
+	pkgs, err = filterPackages(pkgs, patterns, loader.ModulePath, loader.ModuleRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		// A typo'd pattern silently passing would defeat the gate.
+		fmt.Fprintf(os.Stderr, "mclint: no packages match %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+
+	runner := &lint.Runner{Rules: enabled, KnownRules: lint.RuleNames(loader.ModulePath)}
+	findings := runner.Run(pkgs)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s [mclint/%s]\n", pos, f.Message, f.Rule)
+	}
+	if len(findings) > 0 {
+		fmt.Printf("mclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps the packages matching the CLI patterns.
+// Supported forms: "./..." (everything), "./dir/..." (subtree),
+// "./dir" (exact), and plain import paths with or without "/...".
+func filterPackages(pkgs []*lint.Package, patterns []string, modulePath, moduleRoot string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var keep []*lint.Package
+	for _, pkg := range pkgs {
+		for _, pat := range patterns {
+			ok, err := matchPattern(pkg.ImportPath, pat, modulePath, moduleRoot, cwd)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, pkg)
+				break
+			}
+		}
+	}
+	return keep, nil
+}
+
+// matchPattern reports whether the import path matches one pattern.
+func matchPattern(importPath, pat, modulePath, moduleRoot, cwd string) (bool, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "." || pat == "" {
+			pat = "./."
+		}
+	}
+	if strings.HasPrefix(pat, ".") { // filesystem-relative pattern
+		abs := filepath.Clean(filepath.Join(cwd, pat))
+		rel, err := filepath.Rel(moduleRoot, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return false, fmt.Errorf("pattern %q is outside the module", pat)
+		}
+		pat = modulePath
+		if rel != "." {
+			pat = modulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	if importPath == pat {
+		return true, nil
+	}
+	return recursive && strings.HasPrefix(importPath, pat+"/"), nil
+}

@@ -28,7 +28,7 @@ func domainController() *catpa.TaskSet {
 			w[k] = c
 			c *= 1 + ifc
 		}
-		tasks = append(tasks, catpa.Task{Name: name, Period: p, Crit: crit, WCET: w})
+		tasks = append(tasks, catpa.MustTask(0, name, p, w...))
 	}
 	// ASIL-D (level 4): braking and steering.
 	add("brake_actuation", 10, 4, 0.06, 0.5)

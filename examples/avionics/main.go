@@ -19,10 +19,10 @@ import (
 // ima returns the workload. Periods in milliseconds.
 func ima() *catpa.TaskSet {
 	hi := func(name string, p, c1, c2 float64) catpa.Task {
-		return catpa.Task{Name: name, Period: p, Crit: 2, WCET: []float64{c1, c2}}
+		return catpa.MustTask(0, name, p, c1, c2)
 	}
 	lo := func(name string, p, c1 float64) catpa.Task {
-		return catpa.Task{Name: name, Period: p, Crit: 1, WCET: []float64{c1}}
+		return catpa.MustTask(0, name, p, c1)
 	}
 	return catpa.NewTaskSet(
 		// DAL A/B: flight-critical (HI).

@@ -15,11 +15,11 @@ func main() {
 	// low-criticality budget, WCET[1] the certified high-criticality
 	// budget (HI tasks only).
 	ts := catpa.NewTaskSet(
-		catpa.Task{Name: "sensor_fusion", Period: 50, Crit: 2, WCET: []float64{8, 20}},
-		catpa.Task{Name: "flight_ctl", Period: 20, Crit: 2, WCET: []float64{3, 7}},
-		catpa.Task{Name: "telemetry", Period: 100, Crit: 1, WCET: []float64{30}},
-		catpa.Task{Name: "logging", Period: 200, Crit: 1, WCET: []float64{70}},
-		catpa.Task{Name: "display", Period: 25, Crit: 1, WCET: []float64{6}},
+		catpa.MustTask(0, "sensor_fusion", 50, 8, 20),
+		catpa.MustTask(0, "flight_ctl", 20, 3, 7),
+		catpa.MustTask(0, "telemetry", 100, 30),
+		catpa.MustTask(0, "logging", 200, 70),
+		catpa.MustTask(0, "display", 25, 6),
 	)
 	if err := ts.Validate(); err != nil {
 		log.Fatal(err)

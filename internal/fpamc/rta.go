@@ -29,6 +29,7 @@ func Priorities(tasks []mc.Task) []int {
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		ta, tb := &tasks[idx[a]], &tasks[idx[b]]
+		//lint:ignore mclint/floateq deliberately exact: an epsilon here would break the strict weak ordering the sort contract requires
 		if ta.Period != tb.Period {
 			return ta.Period < tb.Period
 		}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// FeasDoc requires exported bool-returning functions and methods of
+// the schedulability-analysis packages (internal/edfvd,
+// internal/partition) to cite, in their doc comment, the equation,
+// theorem or algorithm of the paper they implement. A feasibility
+// predicate whose provenance is not written down cannot be reviewed
+// against the paper, and MC schedulability claims are only as
+// trustworthy as that mapping (Gu & Easwaran 2016; Ramanathan &
+// Easwaran 2017).
+type FeasDoc struct {
+	// Packages lists the import paths the rule applies to.
+	Packages []string
+}
+
+// Name implements Rule.
+func (*FeasDoc) Name() string { return "feasdoc" }
+
+// Doc implements Rule.
+func (*FeasDoc) Doc() string {
+	return "exported feasibility predicates in edfvd/partition must cite their equation or algorithm"
+}
+
+// citation matches the accepted forms of a paper reference.
+var citation = regexp.MustCompile(`Eqs?\.|Equation|Theorem|Proposition|Lemma|Algorithm|Section`)
+
+// Check implements Rule.
+func (r *FeasDoc) Check(pkg *Package, report Reporter) {
+	enforced := false
+	for _, p := range r.Packages {
+		if pkg.ImportPath == p {
+			enforced = true
+			break
+		}
+	}
+	if !enforced {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() || !returnsBool(pkg, fd) {
+				continue
+			}
+			switch doc := fd.Doc.Text(); {
+			case doc == "":
+				report(fd.Name, "exported feasibility predicate %s has no doc comment; cite the equation or algorithm it implements", fd.Name.Name)
+			case !citation.MatchString(doc):
+				report(fd.Name, "doc comment of %s must cite the equation, theorem or algorithm it implements (e.g. \"Eq. 7\", \"Theorem 1\")", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// returnsBool reports whether any result of the function is boolean.
+func returnsBool(pkg *Package, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		t := pkg.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsBoolean != 0 {
+			return true
+		}
+	}
+	return false
+}

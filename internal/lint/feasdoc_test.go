@@ -1,0 +1,58 @@
+package lint
+
+import "testing"
+
+func TestFeasDocRequiresCitations(t *testing.T) {
+	src := `package edfvd
+
+// Feasible reports whether the subset passes at least one Theorem 1
+// condition.
+func Feasible() bool { return true }
+
+// SimpleFeasible implements the pessimistic condition of Eq. 4.
+func SimpleFeasible() bool { return true }
+
+// Documented but with no citation of any equation.
+func Vague() bool { return false }
+
+func Undocumented() bool { return false }
+
+// Runs implements Algorithm 1.
+func Runs() (int, bool) { return 0, true }
+
+// Util has no citation but also returns no bool, so it is exempt.
+func Util() float64 { return 0 }
+
+// unexportedNeedsNothing.
+func unexportedNeedsNothing() bool { return false }
+`
+	rule := &FeasDoc{Packages: []string{"catpa/internal/edfvd"}}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/edfvd", "fix.go", src)
+	wantLines(t, findings, "feasdoc", 11, 13)
+}
+
+func TestFeasDocCoversMethods(t *testing.T) {
+	src := `package edfvd
+
+type Report struct{}
+
+// Feasible reports whether at least one Theorem 1 condition holds.
+func (r *Report) Feasible() bool { return true }
+
+// Bad lacks any reference.
+func (r *Report) Bad() bool { return false }
+`
+	rule := &FeasDoc{Packages: []string{"catpa/internal/edfvd"}}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/edfvd", "fix.go", src)
+	wantLines(t, findings, "feasdoc", 9)
+}
+
+func TestFeasDocScopedToConfiguredPackages(t *testing.T) {
+	src := `package other
+
+func Feasible() bool { return true }
+`
+	rule := &FeasDoc{Packages: []string{"catpa/internal/edfvd", "catpa/internal/partition"}}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/other", "fix.go", src)
+	wantLines(t, findings, "feasdoc")
+}

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != comparisons whose operands are
+// floating-point expressions. Schedulability conditions are chains of
+// floating-point algebra (Eqs. 4-9 of the paper); exact equality on
+// their results silently flips near boundaries, so all comparisons
+// must go through the tolerant helpers in the allowlisted epsilon
+// file (mc.ApproxEq and friends), which is the one place exact
+// comparison is sanctioned.
+type FloatEq struct {
+	// Allow lists slash-separated path suffixes of files where exact
+	// float comparison is permitted (the epsilon-helper file itself).
+	Allow []string
+}
+
+// Name implements Rule.
+func (*FloatEq) Name() string { return "floateq" }
+
+// Doc implements Rule.
+func (*FloatEq) Doc() string {
+	return "no ==/!= between floating-point expressions outside the epsilon-helper allowlist"
+}
+
+// Check implements Rule.
+func (r *FloatEq) Check(pkg *Package, report Reporter) {
+	for _, file := range pkg.Files {
+		if r.allowed(pkg.FileOf(file.Pos())) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pkg.Info.TypeOf(be.X)) || isFloat(pkg.Info.TypeOf(be.Y)) {
+				report(be, "floating-point %s comparison; use mc.ApproxEq (or an explicit epsilon) instead", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// allowed reports whether the file is on the exact-comparison allowlist.
+func (r *FloatEq) allowed(filename string) bool {
+	slashed := strings.ReplaceAll(filename, "\\", "/")
+	for _, suffix := range r.Allow {
+		if strings.HasSuffix(slashed, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t is (or is based on) a floating-point or
+// complex basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

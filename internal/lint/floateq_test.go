@@ -1,0 +1,58 @@
+package lint
+
+import "testing"
+
+func TestFloatEqFlagsFloatComparisons(t *testing.T) {
+	src := `package fix
+
+func eq(a, b float64) bool { return a == b }
+
+func neq(a, b float64) bool { return a != b }
+
+func mixed(a float64) bool { return a == 0 }
+
+func f32(a, b float32) bool { return a == b }
+
+type myFloat float64
+
+func named(a, b myFloat) bool { return a != b }
+
+func viaExpr(a, b, c float64) bool { return a+b == c*2 }
+`
+	findings := checkFixture(t, []Rule{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "floateq", 3, 5, 7, 9, 13, 15)
+}
+
+func TestFloatEqIgnoresNonFloatComparisons(t *testing.T) {
+	src := `package fix
+
+func ints(a, b int) bool { return a == b }
+
+func strs(a, b string) bool { return a != b }
+
+func ordered(a, b float64) bool { return a < b || a >= b }
+
+func tolerant(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}
+`
+	findings := checkFixture(t, []Rule{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "floateq")
+}
+
+func TestFloatEqAllowlist(t *testing.T) {
+	src := `package fix
+
+func exact(a, b float64) bool { return a == b }
+`
+	rule := &FloatEq{Allow: []string{"internal/mc/feq.go"}}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/fix", "internal/mc/feq.go", src)
+	wantLines(t, findings, "floateq")
+
+	findings = checkFixture(t, []Rule{rule}, "catpa/internal/fix", "other.go", src)
+	wantLines(t, findings, "floateq", 3)
+}

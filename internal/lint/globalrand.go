@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags uses of the package-level math/rand convenience
+// functions (rand.Float64, rand.Intn, rand.Seed, ...), which draw from
+// the process-global source. Every stochastic path in this repository
+// — task generation, the randomized execution model, the experiment
+// harness — must thread an explicitly seeded *rand.Rand so that runs
+// are reproducible and parallel workers are deterministic. The
+// constructors (rand.New, rand.NewSource, rand.NewZipf and the v2
+// equivalents) remain legal, as do all methods on *rand.Rand.
+type GlobalRand struct{}
+
+// Name implements Rule.
+func (*GlobalRand) Name() string { return "globalrand" }
+
+// Doc implements Rule.
+func (*GlobalRand) Doc() string {
+	return "no global math/rand functions in non-test code; thread a seeded *rand.Rand"
+}
+
+// randConstructors are the package-level functions that do not touch
+// the global source and stay allowed.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Check implements Rule. It walks identifier uses rather than call
+// expressions so that passing rand.Float64 as a value is caught too.
+func (*GlobalRand) Check(pkg *Package, report Reporter) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[ident].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on *rand.Rand are fine
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			report(ident, "use of global %s.%s; thread a seeded *rand.Rand for reproducibility", path, fn.Name())
+			return true
+		})
+	}
+}

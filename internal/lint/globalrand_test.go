@@ -1,0 +1,41 @@
+package lint
+
+import "testing"
+
+func TestGlobalRandFlagsGlobalFunctions(t *testing.T) {
+	src := `package fix
+
+import "math/rand"
+
+func draw() float64 { return rand.Float64() }
+
+func roll(n int) int { return rand.Intn(n) }
+
+var pick = rand.Perm(4)
+
+var fn = rand.Int63 // passing the global function as a value
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+`
+	findings := checkFixture(t, []Rule{&GlobalRand{}}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "globalrand", 5, 7, 9, 11, 14)
+}
+
+func TestGlobalRandAllowsSeededSources(t *testing.T) {
+	src := `package fix
+
+import "math/rand"
+
+func draw(rng *rand.Rand) float64 { return rng.Float64() }
+
+func build(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func zipf(rng *rand.Rand) *rand.Zipf { return rand.NewZipf(rng, 1.1, 1, 100) }
+
+func use(rng *rand.Rand, n int) int { return rng.Intn(n) }
+`
+	findings := checkFixture(t, []Rule{&GlobalRand{}}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "globalrand")
+}

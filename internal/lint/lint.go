@@ -1,0 +1,223 @@
+// Package lint implements mclint, the repository's domain-aware static
+// analyzer. Built only on the standard library (go/ast, go/parser,
+// go/types, go/token), it loads every package of the module and
+// enforces invariants that ordinary Go tooling cannot know about:
+//
+//	floateq    – no ==/!= between floating-point expressions outside
+//	             the allowlisted epsilon-helper file (internal/mc/feq.go);
+//	             schedulability math must compare with a tolerance.
+//	globalrand – no global math/rand functions (rand.Float64, rand.Intn,
+//	             rand.Seed, ...) in non-test code; stochastic paths must
+//	             thread a seeded *rand.Rand for reproducibility.
+//	rawtask    – no raw mc.Task / mc.TaskSet struct or slice literals
+//	             outside internal/mc; the validating constructors
+//	             (mc.NewTask, mc.MustTask) are the only entry points
+//	             that guarantee WCET monotonicity.
+//	panicmsg   – panic messages in internal packages must be static
+//	             strings carrying the "pkg: " prefix so invariant
+//	             failures are attributable.
+//	feasdoc    – exported feasibility predicates (bool-returning
+//	             functions) in internal/edfvd and internal/partition
+//	             must cite the paper equation, theorem or algorithm
+//	             they implement in their doc comment.
+//
+// A finding can be suppressed by the line above it (or a trailing
+// comment on the same line):
+//
+//	//lint:ignore mclint/<rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself a finding.
+// Test files are not analyzed: tests legitimately construct adversarial
+// fixtures that production code must not.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a position.
+type Finding struct {
+	// Rule is the short rule name ("floateq", ...).
+	Rule string
+	// Pos locates the offending node.
+	Pos token.Position
+	// Message describes the violation and the sanctioned alternative.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [mclint/%s]", f.Pos, f.Message, f.Rule)
+}
+
+// Reporter records one violation at a node.
+type Reporter func(node ast.Node, format string, args ...any)
+
+// Rule is one mclint check. Implementations are stateless with respect
+// to Check: the same rule value may be run over many packages.
+type Rule interface {
+	// Name is the short identifier used in -disable flags and
+	// //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description for -list output.
+	Doc() string
+	// Check inspects one package and reports violations.
+	Check(pkg *Package, report Reporter)
+}
+
+// DefaultRules returns the full rule set configured for the module
+// with the given module path.
+func DefaultRules(modulePath string) []Rule {
+	internal := modulePath + "/internal/"
+	return []Rule{
+		&FloatEq{Allow: []string{"internal/mc/feq.go"}},
+		&GlobalRand{},
+		&RawTask{MCPath: modulePath + "/internal/mc"},
+		&PanicMsg{InternalPrefix: internal},
+		&FeasDoc{Packages: []string{
+			modulePath + "/internal/edfvd",
+			modulePath + "/internal/partition",
+		}},
+	}
+}
+
+// RuleNames returns the names of all known rules, for directive and
+// -disable validation (independent of which rules are enabled).
+func RuleNames(modulePath string) []string {
+	rules := DefaultRules(modulePath)
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name()
+	}
+	return names
+}
+
+// directiveRule is the pseudo-rule name under which malformed
+// //lint:ignore directives are reported. It cannot be suppressed.
+const directiveRule = "directive"
+
+// Runner executes a rule set over packages and applies suppression
+// directives.
+type Runner struct {
+	// Rules is the enabled rule set.
+	Rules []Rule
+	// KnownRules validates directive targets; defaults to the names of
+	// Rules when empty, so directives for disabled rules stay legal
+	// only if KnownRules includes them.
+	KnownRules []string
+}
+
+// Run checks every package and returns the surviving findings sorted
+// by position.
+func (r *Runner) Run(pkgs []*Package) []Finding {
+	known := make(map[string]bool)
+	for _, n := range r.KnownRules {
+		known[n] = true
+	}
+	for _, rule := range r.Rules {
+		known[rule.Name()] = true
+	}
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		sup, bad := collectDirectives(pkg, known)
+		out = append(out, bad...)
+		for _, rule := range r.Rules {
+			name := rule.Name()
+			rule.Check(pkg, func(node ast.Node, format string, args ...any) {
+				pos := pkg.Fset.Position(node.Pos())
+				if sup.covers(pos.Filename, pos.Line, name) {
+					return
+				}
+				out = append(out, Finding{
+					Rule:    name,
+					Pos:     pos,
+					Message: fmt.Sprintf(format, args...),
+				})
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// suppressions indexes //lint:ignore directives: file -> line -> rules
+// suppressed on that line. A directive on line L covers findings on L
+// (trailing comment) and L+1 (comment above the code).
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) add(file string, line int, rule string) {
+	byLine, ok := s[file]
+	if !ok {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	for _, l := range [2]int{line, line + 1} {
+		if byLine[l] == nil {
+			byLine[l] = make(map[string]bool)
+		}
+		byLine[l][rule] = true
+	}
+}
+
+func (s suppressions) covers(file string, line int, rule string) bool {
+	return s[file][line][rule]
+}
+
+// collectDirectives scans a package's comments for //lint:ignore
+// directives, returning the suppression index and findings for
+// malformed directives (missing reason, unknown rule, bad target).
+func collectDirectives(pkg *Package, known map[string]bool) (suppressions, []Finding) {
+	sup := make(suppressions)
+	var bad []Finding
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Finding{Rule: directiveRule, Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(pos, "lint:ignore directive needs a rule (\"mclint/<rule>\") and a reason")
+					continue
+				}
+				target, ok := strings.CutPrefix(fields[0], "mclint/")
+				if !ok {
+					report(pos, "lint:ignore target %q must be of the form mclint/<rule>", fields[0])
+					continue
+				}
+				if !known[target] {
+					report(pos, "lint:ignore targets unknown rule mclint/%s", target)
+					continue
+				}
+				if len(fields) < 2 {
+					report(pos, "lint:ignore mclint/%s needs a written reason", target)
+					continue
+				}
+				sup.add(pos.Filename, pos.Line, target)
+			}
+		}
+	}
+	return sup, bad
+}

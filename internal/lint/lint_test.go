@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The tests share one loader: NewLoader shells out to `go list
+// -export -deps` once, and every fixture is type-checked through it.
+var (
+	loaderOnce sync.Once
+	testLoader *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		testLoader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return testLoader
+}
+
+// checkFixture type-checks src as a single-file package under
+// importPath and runs the given rules over it.
+func checkFixture(t *testing.T, rules []Rule, importPath, filename, src string) []Finding {
+	t.Helper()
+	ld := sharedLoader(t)
+	pkg, err := ld.CheckSource(importPath, filename, src)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	runner := &Runner{Rules: rules, KnownRules: RuleNames("catpa")}
+	return runner.Run([]*Package{pkg})
+}
+
+// wantLines asserts that the findings of a given rule sit exactly on
+// the expected source lines.
+func wantLines(t *testing.T, findings []Finding, rule string, want ...int) {
+	t.Helper()
+	var got []int
+	for _, f := range findings {
+		if f.Rule == rule {
+			got = append(got, f.Pos.Line)
+		}
+	}
+	sort.Ints(got)
+	sort.Ints(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("rule %s findings on lines %v, want %v\nall findings: %v", rule, got, want, findings)
+	}
+}
+
+func TestLoaderLoadsModule(t *testing.T) {
+	ld := sharedLoader(t)
+	if ld.ModulePath != "catpa" {
+		t.Fatalf("module path %q, want catpa", ld.ModulePath)
+	}
+	pkgs, err := ld.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := make(map[string]*Package)
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	for _, want := range []string{"catpa", "catpa/internal/mc", "catpa/internal/edfvd", "catpa/cmd/mclint"} {
+		if byPath[want] == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	mc := byPath["catpa/internal/mc"]
+	if mc == nil {
+		t.Fatal("no mc package")
+	}
+	for _, f := range mc.Files {
+		name := mc.FileOf(f.Pos())
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s was loaded", name)
+		}
+	}
+	if mc.Types.Scope().Lookup("NewTask") == nil {
+		t.Error("mc.NewTask not in type-checked scope")
+	}
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	src := `package fix
+
+func cmpAbove(x, y float64) bool {
+	//lint:ignore mclint/floateq deliberate exact comparison for the test
+	return x == y
+}
+
+func cmpSameLine(x, y float64) bool {
+	return x == y //lint:ignore mclint/floateq trailing directive
+}
+
+func cmpUnsuppressed(x, y float64) bool {
+	return x == y
+}
+
+func cmpWrongRule(x, y float64) bool {
+	//lint:ignore mclint/rawtask reason does not match the firing rule
+	return x == y
+}
+`
+	findings := checkFixture(t, []Rule{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "floateq", 13, 18)
+	wantLines(t, findings, directiveRule)
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	src := `package fix
+
+//lint:ignore mclint/floateq
+var a = 1
+
+//lint:ignore floateq missing the mclint/ namespace
+var b = 2
+
+//lint:ignore mclint/nosuchrule some reason
+var c = 3
+
+//lint:ignore
+var d = 4
+`
+	findings := checkFixture(t, []Rule{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, directiveRule, 3, 6, 9, 12)
+}
+
+func TestRunnerDisabledRuleDirectiveStillKnown(t *testing.T) {
+	// A directive naming a rule that is disabled for this run must not
+	// be reported as unknown: KnownRules carries the full name set.
+	src := `package fix
+
+func f(x, y float64) bool {
+	//lint:ignore mclint/floateq kept while the rule is disabled
+	return x == y
+}
+`
+	findings := checkFixture(t, []Rule{&GlobalRand{}}, "catpa/internal/fix", "fix.go", src)
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}
+
+func TestFindingsSortedByPosition(t *testing.T) {
+	src := `package fix
+
+func f(a, b float64) bool { return a == b }
+func g(a, b float64) bool { return a != b }
+`
+	findings := checkFixture(t, []Rule{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2", len(findings))
+	}
+	if findings[0].Pos.Line > findings[1].Pos.Line {
+		t.Errorf("findings not sorted: %v", findings)
+	}
+	if !strings.Contains(findings[0].String(), "fix.go:3") || !strings.Contains(findings[0].String(), "[mclint/floateq]") {
+		t.Errorf("finding String() = %q", findings[0].String())
+	}
+}
+
+func TestDefaultRules(t *testing.T) {
+	rules := DefaultRules("catpa")
+	names := make(map[string]bool)
+	for _, r := range rules {
+		names[r.Name()] = true
+		if r.Doc() == "" {
+			t.Errorf("rule %s has no doc", r.Name())
+		}
+	}
+	for _, want := range []string{"floateq", "globalrand", "rawtask", "panicmsg", "feasdoc"} {
+		if !names[want] {
+			t.Errorf("missing default rule %s", want)
+		}
+	}
+	if len(rules) != 5 {
+		t.Errorf("got %d default rules, want 5", len(rules))
+	}
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test package of the module under
+// analysis. Test files (*_test.go) are deliberately excluded: every
+// mclint rule exempts test code, which legitimately builds adversarial
+// fixtures (raw literals, exact comparisons) that production code must
+// not.
+type Package struct {
+	// ImportPath is the package's import path ("catpa/internal/mc").
+	ImportPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions all files of the load.
+	Fset *token.FileSet
+	// Files holds the parsed non-test source files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker facts the rules consult.
+	Info *types.Info
+}
+
+// FileOf returns the filename of the file containing pos.
+func (p *Package) FileOf(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// Loader loads and type-checks every package of a Go module using only
+// the standard library: package structure and dependency export data
+// come from `go list -export -deps`, and type checking runs go/types
+// with the gc importer reading that export data. This avoids both a
+// dependency on golang.org/x/tools and the cost of re-type-checking
+// the transitive closure from source.
+type Loader struct {
+	// Fset positions every file loaded through this loader.
+	Fset *token.FileSet
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+
+	imp     types.ImporterFrom
+	exports map[string]string // import path -> export data file
+	listed  []listedPackage
+}
+
+// listedPackage mirrors the `go list -json` fields the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// NewLoader builds a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: root,
+		ModulePath: modPath,
+		exports:    make(map[string]string),
+	}
+	if err := l.list(); err != nil {
+		return nil, err
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup).(types.ImporterFrom)
+	return l, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module directive in %s/go.mod", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// list runs `go list -export -deps ./...` at the module root and
+// records package metadata and export-data locations.
+func (l *Loader) list() error {
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,Standard,Error", "./...")
+	cmd.Dir = l.ModuleRoot
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("lint: go list failed: %v\n%s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		l.listed = append(l.listed, p)
+	}
+	return nil
+}
+
+// lookup feeds dependency export data to the gc importer.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	f, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// inModule reports whether the import path belongs to the loaded module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// Load parses and type-checks every package of the module, sorted by
+// import path. A package that fails to parse or type-check aborts the
+// load with an error naming it: mclint refuses to report findings on a
+// tree it could not fully analyze.
+func (l *Loader) Load() ([]*Package, error) {
+	var pkgs []*Package
+	for _, lp := range l.listed {
+		if lp.Standard || !l.inModule(lp.ImportPath) {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package.
+func (l *Loader) check(lp listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return l.typeCheck(lp.ImportPath, lp.Dir, files)
+}
+
+// CheckSource parses and type-checks a single in-memory file as its
+// own package under the given import path. It exists for rule unit
+// tests, which feed fixture sources through the same pipeline real
+// packages take.
+func (l *Loader) CheckSource(importPath, filename, src string) (*Package, error) {
+	f, err := parser.ParseFile(l.Fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return l.typeCheck(importPath, "", []*ast.File{f})
+}
+
+// typeCheck runs go/types over the files with the export-data importer.
+func (l *Loader) typeCheck(importPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s:\n  %s", importPath, strings.Join(typeErrs, "\n  "))
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicMsg enforces the panic-message convention in internal
+// packages: the message must be a statically known string (a literal,
+// a string constant, or a fmt.Sprintf/fmt.Errorf call with a literal
+// format) carrying the "pkg: " prefix. Panics encode invariant
+// violations — a matrix index out of range, a K mismatch, an invalid
+// generator config — and when one fires deep inside an experiment
+// sweep the prefix is what attributes it to a subsystem.
+type PanicMsg struct {
+	// InternalPrefix scopes the rule to import paths with this prefix
+	// ("<module>/internal/").
+	InternalPrefix string
+}
+
+// Name implements Rule.
+func (*PanicMsg) Name() string { return "panicmsg" }
+
+// Doc implements Rule.
+func (*PanicMsg) Doc() string {
+	return `panic messages in internal packages must be static strings prefixed "pkg: "`
+}
+
+// Check implements Rule.
+func (r *PanicMsg) Check(pkg *Package, report Reporter) {
+	if !strings.HasPrefix(pkg.ImportPath, r.InternalPrefix) {
+		return
+	}
+	prefix := pkg.Types.Name() + ": "
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 || !isBuiltinPanic(pkg, call.Fun) {
+				return true
+			}
+			msg, static := staticString(pkg, call.Args[0])
+			switch {
+			case !static:
+				report(call, "panic message is not a static string; panic with %q so the failure is attributable", prefix+"...")
+			case !strings.HasPrefix(msg, prefix):
+				report(call, "panic message %q must start with the package prefix %q", truncate(msg, 40), prefix)
+			}
+			return true
+		})
+	}
+}
+
+// isBuiltinPanic reports whether fun denotes the predeclared panic.
+func isBuiltinPanic(pkg *Package, fun ast.Expr) bool {
+	ident, ok := fun.(*ast.Ident)
+	if !ok || ident.Name != "panic" {
+		return false
+	}
+	_, ok = pkg.Info.Uses[ident].(*types.Builtin)
+	return ok
+}
+
+// staticString resolves e to a compile-time string when possible:
+// constant string expressions, or fmt.Sprintf/fmt.Errorf calls whose
+// format argument is itself a constant string.
+func staticString(pkg *Package, e ast.Expr) (string, bool) {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	if fn.Name() != "Sprintf" && fn.Name() != "Errorf" {
+		return "", false
+	}
+	if tv, ok := pkg.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}
+
+// truncate shortens s for display.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,49 @@
+package lint
+
+import "testing"
+
+func TestPanicMsgEnforcesPrefix(t *testing.T) {
+	src := `package fix
+
+import "fmt"
+
+func bare() { panic("boom") }
+
+func formatted(n int) { panic(fmt.Sprintf("bad state %d", n)) }
+
+func dynamic(err error) { panic(err) }
+
+func good() { panic("fix: invariant violated") }
+
+func goodFmt(n int) { panic(fmt.Sprintf("fix: bad state %d", n)) }
+
+const msg = "fix: constant message"
+
+func goodConst() { panic(msg) }
+
+func goodErrorf(n int) { panic(fmt.Errorf("fix: bad state %d", n)) }
+`
+	rule := &PanicMsg{InternalPrefix: "catpa/internal/"}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "panicmsg", 5, 7, 9)
+}
+
+func TestPanicMsgScopedToInternal(t *testing.T) {
+	src := `package main
+
+func main() { panic("anything goes outside internal/") }
+`
+	rule := &PanicMsg{InternalPrefix: "catpa/internal/"}
+	findings := checkFixture(t, []Rule{rule}, "catpa/cmd/fix", "fix.go", src)
+	wantLines(t, findings, "panicmsg")
+}
+
+func TestPanicMsgIgnoresShadowedPanic(t *testing.T) {
+	src := `package fix
+
+func panicIn(panic func(string)) { panic("not the builtin") }
+`
+	rule := &PanicMsg{InternalPrefix: "catpa/internal/"}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "panicmsg")
+}

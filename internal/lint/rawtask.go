@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RawTask flags composite literals that construct mc.Task or
+// mc.TaskSet values (directly, through the catpa facade aliases, or
+// as elements of slice/array literals) outside the defining package.
+// Raw literals bypass the constructors' validation — WCET
+// monotonicity c_i(1) <= ... <= c_i(l_i), positive periods, own-level
+// utilization <= 1 — which every downstream analysis assumes.
+// mc.NewTask / mc.MustTask / mc.NewTaskSet are the sanctioned entry
+// points. Test files are exempt (they deliberately build invalid
+// fixtures); so is internal/mc itself.
+type RawTask struct {
+	// MCPath is the import path of the defining package
+	// ("<module>/internal/mc"), which is exempt.
+	MCPath string
+}
+
+// Name implements Rule.
+func (*RawTask) Name() string { return "rawtask" }
+
+// Doc implements Rule.
+func (*RawTask) Doc() string {
+	return "no raw mc.Task/mc.TaskSet literals outside internal/mc; use the validating constructors"
+}
+
+// Check implements Rule.
+func (r *RawTask) Check(pkg *Package, report Reporter) {
+	if pkg.ImportPath == r.MCPath {
+		return
+	}
+	for _, file := range pkg.Files {
+		// Only the outermost offending literal is reported: the
+		// elements of a flagged []mc.Task{...} are not repeated.
+		var skipUntil token.Pos
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || lit.Pos() < skipUntil {
+				return true
+			}
+			name, ok := r.taskLike(pkg.Info.TypeOf(lit))
+			if !ok {
+				return true
+			}
+			skipUntil = lit.End()
+			report(lit, "raw %s literal; construct tasks with mc.NewTask/mc.MustTask and sets with mc.NewTaskSet so invariants are validated", name)
+			return true
+		})
+	}
+}
+
+// taskLike reports whether t is mc.Task, mc.TaskSet, or a slice/array
+// of either, returning a display name for the finding.
+func (r *RawTask) taskLike(t types.Type) (string, bool) {
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == r.MCPath &&
+			(obj.Name() == "Task" || obj.Name() == "TaskSet") {
+			return "mc." + obj.Name(), true
+		}
+	case *types.Slice:
+		if name, ok := r.taskLike(t.Elem()); ok {
+			return "[]" + name, true
+		}
+	case *types.Array:
+		if name, ok := r.taskLike(t.Elem()); ok {
+			return "[...]" + name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,69 @@
+package lint
+
+import "testing"
+
+func TestRawTaskFlagsLiterals(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/mc"
+
+var task = mc.Task{ID: 1, Period: 10, Crit: 1, WCET: []float64{1}}
+
+var slice = []mc.Task{{ID: 1, Period: 10, Crit: 1, WCET: []float64{1}}}
+
+var set = &mc.TaskSet{}
+
+var nested = mc.TaskSet{Tasks: []mc.Task{{ID: 1}}}
+
+func build() mc.Task { return mc.Task{Period: 5, Crit: 1, WCET: []float64{1}} }
+`
+	findings := checkFixture(t, []Rule{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
+	// The nested []mc.Task inside the flagged TaskSet literal on line
+	// 11 must not be double-reported.
+	wantLines(t, findings, "rawtask", 5, 7, 9, 11, 13)
+}
+
+func TestRawTaskAllowsConstructorsAndAliases(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/mc"
+
+var ok = mc.MustTask(1, "a", 10, 2, 4)
+
+var set = mc.NewTaskSet(mc.MustTask(0, "b", 20, 5))
+
+var grown = mc.NewTaskSetCap(8)
+
+var other = []float64{1, 2}
+
+type holder struct{ t mc.Task } // declaring fields is fine
+
+func read(ts *mc.TaskSet) int { return ts.Len() }
+`
+	findings := checkFixture(t, []Rule{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "rawtask")
+}
+
+func TestRawTaskFlagsFacadeAlias(t *testing.T) {
+	// catpa.Task is an alias of mc.Task; literals through the facade
+	// must be caught too.
+	src := `package fix
+
+import "catpa"
+
+var task = catpa.Task{Period: 10, Crit: 1, WCET: []float64{1}}
+`
+	findings := checkFixture(t, []Rule{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "rawtask", 5)
+}
+
+func TestRawTaskExemptsDefiningPackage(t *testing.T) {
+	src := `package mc
+
+import "catpa/internal/mc"
+
+var task = mc.Task{ID: 1, Period: 10, Crit: 1, WCET: []float64{1}}
+`
+	findings := checkFixture(t, []Rule{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/mc", "extra.go", src)
+	wantLines(t, findings, "rawtask")
+}

@@ -1,0 +1,44 @@
+package mc
+
+import "fmt"
+
+// NewTask constructs a validated task. The criticality level is
+// inferred from the length of the WCET vector (Validate requires
+// len(WCET) == Crit), so a task cannot be built with a mismatched
+// level. The WCET slice is copied; id may be zero when the task will
+// be handed to NewTaskSet, which assigns sequential IDs.
+//
+// NewTask (or MustTask) is the only sanctioned way to build a Task
+// outside this package: constructing raw Task literals elsewhere
+// bypasses the WCET-monotonicity and utilization invariants and is
+// rejected by the mclint/rawtask check.
+func NewTask(id int, name string, period float64, wcet ...float64) (Task, error) {
+	t := Task{
+		ID:     id,
+		Name:   name,
+		Period: period,
+		Crit:   len(wcet),
+		WCET:   append([]float64(nil), wcet...),
+	}
+	if err := t.Validate(); err != nil {
+		return Task{}, err
+	}
+	return t, nil
+}
+
+// MustTask is NewTask panicking on invalid parameters. It is intended
+// for hand-built workloads and generators whose parameters are valid
+// by construction.
+func MustTask(id int, name string, period float64, wcet ...float64) Task {
+	t, err := NewTask(id, name, period, wcet...)
+	if err != nil {
+		panic(fmt.Sprintf("mc: MustTask: %v", err))
+	}
+	return t
+}
+
+// NewTaskSetCap returns an empty task set whose backing slice has the
+// given capacity, for builders that append tasks one by one.
+func NewTaskSetCap(capacity int) *TaskSet {
+	return &TaskSet{Tasks: make([]Task, 0, capacity)}
+}

@@ -44,19 +44,19 @@ const Levels = 2
 
 // TaskSet returns the reconstructed five-task instance of Table I.
 func TaskSet() *mc.TaskSet {
-	mk := func(id int, crit int, us ...float64) mc.Task {
+	mk := func(id int, us ...float64) mc.Task {
 		w := make([]float64, len(us))
 		for i, u := range us {
 			w[i] = u * Period
 		}
-		return mc.Task{ID: id, Period: Period, Crit: crit, WCET: w}
+		return mc.MustTask(id, "", Period, w...)
 	}
 	return mc.NewTaskSet(
-		mk(1, 1, 0.372),
-		mk(2, 2, U21, 0.326),
-		mk(3, 1, 0.31),
-		mk(4, 2, 0.339, 0.633),
-		mk(5, 1, 0.32),
+		mk(1, 0.372),
+		mk(2, U21, 0.326),
+		mk(3, 0.31),
+		mk(4, 0.339, 0.633),
+		mk(5, 0.32),
 	)
 }
 

@@ -108,7 +108,7 @@ func (r *Result) finishMetrics() {
 func (r *Result) Subsets(ts *mc.TaskSet) []*mc.TaskSet {
 	out := make([]*mc.TaskSet, len(r.Cores))
 	for m := range r.Cores {
-		sub := &mc.TaskSet{}
+		sub := mc.NewTaskSetCap(len(r.Cores[m].Tasks))
 		for _, ti := range r.Cores[m].Tasks {
 			sub.Tasks = append(sub.Tasks, ts.Tasks[ti].Clone())
 		}

@@ -109,6 +109,7 @@ type Options struct {
 const DefaultAlpha = 0.7
 
 func (o *Options) alpha() float64 {
+	//lint:ignore mclint/floateq deliberately exact: 0 is the zero-value sentinel selecting the default, not a computed quantity
 	if o == nil || o.Alpha == 0 {
 		return DefaultAlpha
 	}

@@ -19,6 +19,7 @@ func HyperperiodHorizon(tasks []mc.Task, maxHorizon float64) (float64, bool) {
 	for i := range tasks {
 		p := tasks[i].Period
 		ip := int64(p)
+		//lint:ignore mclint/floateq deliberately exact: detects whether the period is an integer, a representability test with no meaningful tolerance
 		if p <= 0 || float64(ip) != p {
 			return 0, false // non-integer period
 		}

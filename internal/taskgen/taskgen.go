@@ -128,11 +128,12 @@ func (c *Config) Validate() error {
 // carry no information; the paper's parameters make such draws rare).
 func Generate(cfg *Config, rng *rand.Rand) *mc.TaskSet {
 	if err := cfg.Validate(); err != nil {
+		//lint:ignore mclint/panicmsg Validate errors already carry the "taskgen: " prefix
 		panic(err)
 	}
 	n := cfg.N.sample(rng)
 	uBase := cfg.NSU * float64(cfg.M) / float64(n)
-	ts := &mc.TaskSet{Tasks: make([]mc.Task, 0, n)}
+	ts := mc.NewTaskSetCap(n)
 	for i := 0; i < n; i++ {
 		ts.Tasks = append(ts.Tasks, genTask(cfg, rng, i+1, uBase))
 	}
@@ -177,7 +178,7 @@ func genTask(cfg *Config, rng *rand.Rand, id int, uBase float64) mc.Task {
 			w[k] = p
 		}
 	}
-	return mc.Task{ID: id, Period: p, Crit: crit, WCET: w}
+	return mc.MustTask(id, "", p, w...)
 }
 
 // mix combines a base seed and an index into a well-spread 63-bit

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# check.sh — the tier-2 quality gate: formatting, vet, the domain-aware
+# mclint analyzer, the race-enabled test suite, and a short fuzz pass
+# over the schedulability and generator invariants. Everything here uses
+# only the Go toolchain; there are no external dependencies.
+#
+# Usage: scripts/check.sh [fuzztime]
+#   fuzztime  per-target fuzz budget (default 10s; "0s" skips fuzzing)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-10s}"
+
+step() { printf '== %s\n' "$*"; }
+
+step "gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet"
+go vet ./...
+
+step "go build"
+go build ./...
+
+step "mclint"
+go run ./cmd/mclint ./...
+
+step "go test -race"
+go test -race ./...
+
+if [[ "$FUZZTIME" != "0s" && "$FUZZTIME" != "0" ]]; then
+    step "fuzz (${FUZZTIME} per target)"
+    go test ./internal/edfvd -run='^$' -fuzz='^FuzzTheorem1Feasible$' -fuzztime="$FUZZTIME"
+    go test ./internal/edfvd -run='^$' -fuzz='^FuzzDualAgreement$' -fuzztime="$FUZZTIME"
+    go test ./internal/taskgen -run='^$' -fuzz='^FuzzGenerate$' -fuzztime="$FUZZTIME"
+fi
+
+step "OK"
