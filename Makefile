@@ -1,7 +1,7 @@
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint fuzz check fmt
+.PHONY: build test race lint fuzz check fmt bench
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ fuzz:
 
 fmt:
 	gofmt -w .
+
+# bench runs the partitioning fast-path benchmarks with fixed flags and
+# writes BENCH_PR2.json with speedups against the pre-fast-path baseline.
+bench:
+	scripts/bench.sh
+
 
 # check is the full tier-2 gate: fmt/vet/mclint/race tests/short fuzz.
 check:

@@ -26,6 +26,31 @@ import (
 // ordering is stable.
 const benchSets = 60
 
+// schemeIndex resolves a scheme's position in a scheme list by name,
+// so benchmarks never hard-code presentation-order indices.
+func schemeIndex(b *testing.B, schemes []catpa.Scheme, name string) int {
+	b.Helper()
+	want, err := catpa.ParseScheme(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for si, s := range schemes {
+		if s == want {
+			return si
+		}
+	}
+	b.Fatalf("scheme %q not in %v", name, schemes)
+	return -1
+}
+
+// sweepSchemes returns the scheme list a sweep will actually evaluate.
+func sweepSchemes(sw *catpa.Sweep) []catpa.Scheme {
+	if len(sw.Schemes) > 0 {
+		return sw.Schemes
+	}
+	return catpa.Schemes
+}
+
 // figureBench runs one reduced figure sweep per iteration and reports
 // the midpoint schedulability ratios of CA-TPA and FFD.
 func figureBench(b *testing.B, fig int) {
@@ -34,10 +59,11 @@ func figureBench(b *testing.B, fig int) {
 	for i := 0; i < b.N; i++ {
 		sw := catpa.Figure(fig, benchSets, 2016)
 		sw.Workers = 1
+		schemes := sweepSchemes(sw)
 		res := sw.Run()
 		mid := len(sw.Values) / 2
-		ffdRatio = res.Value(mid, 1, catpa.SchedRatio)   // FFD
-		catpaRatio = res.Value(mid, 4, catpa.SchedRatio) // CA-TPA
+		ffdRatio = res.Value(mid, schemeIndex(b, schemes, "FFD"), catpa.SchedRatio)
+		catpaRatio = res.Value(mid, schemeIndex(b, schemes, "CA-TPA"), catpa.SchedRatio)
 	}
 	b.ReportMetric(catpaRatio, "catpa_ratio")
 	b.ReportMetric(ffdRatio, "ffd_ratio")
@@ -71,8 +97,30 @@ func benchPopulation(n int) []*catpa.TaskSet {
 
 // BenchmarkPartition times one partitioning run per iteration for each
 // scheme at the paper's default point (M=8, K=4, NSU=0.6) and reports
-// the scheme's acceptance ratio over the cycled population.
+// the scheme's acceptance ratio over the cycled population. It uses
+// the reusable Partitioner fast path (steady state: 0 allocs/op); see
+// BenchmarkPartitionLegacy for the one-shot entry point.
 func BenchmarkPartition(b *testing.B) {
+	sets := benchPopulation(200)
+	for _, s := range catpa.Schemes {
+		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			p := catpa.NewPartitioner(8, 4)
+			feasible := 0
+			for i := 0; i < b.N; i++ {
+				ts := sets[i%len(sets)]
+				if p.Evaluate(ts, s, nil).Feasible {
+					feasible++
+				}
+			}
+			b.ReportMetric(float64(feasible)/float64(b.N), "sched_ratio")
+		})
+	}
+}
+
+// BenchmarkPartitionLegacy times the allocating one-shot Partition
+// call (the pre-fast-path baseline, kept for comparison).
+func BenchmarkPartitionLegacy(b *testing.B) {
 	sets := benchPopulation(200)
 	for _, s := range catpa.Schemes {
 		b.Run(s.String(), func(b *testing.B) {
@@ -87,6 +135,22 @@ func BenchmarkPartition(b *testing.B) {
 			b.ReportMetric(float64(feasible)/float64(b.N), "sched_ratio")
 		})
 	}
+}
+
+// BenchmarkSweepThroughput measures end-to-end sweep throughput in
+// task sets per second (generate + partition by all five schemes +
+// aggregate, single worker): the figure-of-merit for paper-scale
+// 50,000-set populations.
+func BenchmarkSweepThroughput(b *testing.B) {
+	b.ReportAllocs()
+	const setsPerIter = 200
+	for i := 0; i < b.N; i++ {
+		sw := catpa.Figure(1, setsPerIter, 2016)
+		sw.Workers = 1
+		sw.Values = sw.Values[3:4] // single mid-sweep point (NSU near the boundary)
+		sw.Run()
+	}
+	b.ReportMetric(float64(setsPerIter)*float64(b.N)/b.Elapsed().Seconds(), "sets/s")
 }
 
 // BenchmarkCATPAScaling verifies the O((M+N)*N) complexity claim of

@@ -182,6 +182,22 @@ func Partition(ts *TaskSet, m, k int, scheme Scheme, opts *PartitionOptions) *Pa
 // ParseScheme maps a scheme name ("CA-TPA", "FFD", ...) to a Scheme.
 func ParseScheme(name string) (Scheme, error) { return partition.ParseScheme(name) }
 
+// Reusable partitioning fast path (internal/partition).
+type (
+	// Partitioner is a reusable, allocation-free partitioning engine
+	// for fixed dimensions; see NewPartitioner.
+	Partitioner = partition.Partitioner
+	// PartitionEval is the cheap evaluation of one run: feasibility
+	// plus the three aggregate metrics, without materializing a Result.
+	PartitionEval = partition.Eval
+)
+
+// NewPartitioner returns a reusable engine for m cores and k levels.
+// Its Run method is bit-identical to Partition but performs no heap
+// allocations in the steady state; Evaluate additionally skips
+// materializing the Result. Not safe for concurrent use.
+func NewPartitioner(m, k int) *Partitioner { return partition.New(m, k) }
+
 // Workload generation (internal/taskgen).
 type (
 	// GenConfig describes a synthetic workload family (Section IV-A).
@@ -200,6 +216,15 @@ func DefaultGenConfig() GenConfig { return taskgen.DefaultConfig() }
 func GenerateTaskSet(cfg *GenConfig, seed int64, idx int) *TaskSet {
 	return taskgen.GenerateIndexed(cfg, seed, idx)
 }
+
+// TaskGenerator is a reusable workload generator: for any (cfg, seed,
+// idx) it regenerates exactly the set of GenerateTaskSet while reusing
+// all internal storage (the returned set is valid until the next
+// Generate call). Not safe for concurrent use.
+type TaskGenerator = taskgen.Generator
+
+// NewTaskGenerator returns an empty reusable generator.
+func NewTaskGenerator() *TaskGenerator { return taskgen.NewGenerator() }
 
 // Runtime simulation (internal/sim).
 type (

@@ -5,13 +5,13 @@
 //
 // Usage:
 //
-//	mcexp -figure 1 -sets 2000              # one figure, text tables
-//	mcexp -figure all -sets 2000 -plot      # all figures with ASCII plots
+//	mcexp -figure 1                         # one figure at paper scale
+//	mcexp -figure all -plot                 # all figures with ASCII plots
 //	mcexp -figure 4 -csv -out results/      # CSV files per metric
 //
-// The paper averages 50,000 task sets per point; -sets trades accuracy
-// for time (the ratios carry 95% confidence intervals of about
-// ±1.96*sqrt(p(1-p)/sets)).
+// The default population matches the paper's 50,000 task sets per
+// point; -sets trades accuracy for time (the ratios carry 95%
+// confidence intervals of about ±1.96*sqrt(p(1-p)/sets)).
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 func main() {
 	var (
 		figure  = flag.String("figure", "all", "figure number 1..5 or 'all'")
-		sets    = flag.Int("sets", 2000, "task sets per data point")
+		sets    = flag.Int("sets", 50000, "task sets per data point")
 		seed    = flag.Int64("seed", 2016, "base seed")
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		plot    = flag.Bool("plot", false, "render ASCII plots in addition to tables")

@@ -79,8 +79,14 @@ func Analyze(m *mc.UtilMatrix) *Report {
 // AnalyzeInto is Analyze with caller-provided storage; it reuses the
 // report's slices when their capacity suffices, making the CA-TPA probe
 // loop allocation-free after warm-up.
+//
+// It reads the matrix through its raw backing slice (UtilMatrix.Data)
+// to keep the partitioning inner loop free of per-entry bounds checks;
+// every arithmetic operation is performed in the same order as the
+// entry-wise formulation, so reports are bit-identical to it.
 func AnalyzeInto(m *mc.UtilMatrix, r *Report) {
 	k := m.K()
+	d := m.Data() // d[(j-1)*k + (k'-1)] = U_j(k')
 	r.K = k
 	r.Lambda = resize(r.Lambda, k)
 	r.LambdaOK = resizeBool(r.LambdaOK, k)
@@ -93,7 +99,7 @@ func AnalyzeInto(m *mc.UtilMatrix, r *Report) {
 
 	if k == 1 {
 		// Single-criticality systems reduce to plain EDF: U_1(1) <= 1.
-		u := m.At(1, 1)
+		u := d[0]
 		if u <= 1+Eps {
 			r.FeasibleK = 1
 			r.CoreUtil = u
@@ -102,12 +108,12 @@ func AnalyzeInto(m *mc.UtilMatrix, r *Report) {
 		return
 	}
 
-	lambdas(m, r.Lambda, r.LambdaOK)
+	lambdas(d, k, r.Lambda, r.LambdaOK)
 
 	// The min term of Eq. 5 is independent of k:
 	// min{ U_K(K), U_K(K-1) / (1 - U_K(K)) }.
-	ukk := m.At(k, k)
-	ukk1 := m.At(k, k-1)
+	ukk := d[(k-1)*k+(k-1)]
+	ukk1 := d[(k-1)*k+(k-2)]
 	minTerm := ukk
 	if 1-ukk > Eps {
 		if frac := ukk1 / (1 - ukk); frac < minTerm {
@@ -122,7 +128,7 @@ func AnalyzeInto(m *mc.UtilMatrix, r *Report) {
 	// First pass computes mu for every condition level.
 	sumOwn := 0.0
 	for i := k - 1; i >= 1; i-- {
-		sumOwn += m.At(i, i)
+		sumOwn += d[(i-1)*k+(i-1)]
 		r.Mu[i-1] = sumOwn + minTerm
 	}
 	bestUtil := math.Inf(1)
@@ -184,6 +190,193 @@ func CoreUtil(m *mc.UtilMatrix) float64 {
 // by plain EDF (no virtual deadlines needed).
 func SimpleFeasible(m *mc.UtilMatrix) bool {
 	return m.OwnLevelLoad() <= 1+Eps
+}
+
+// fastGuard is the margin FastInfeasible keeps beyond Eps so that the
+// O(1) screen can never contradict the full analysis: the rounding
+// difference between mu(K-1) computed here and any mu(k) accumulated
+// inside AnalyzeInto is bounded by a few ulps of K, orders of
+// magnitude below this band.
+const fastGuard = 1e-12
+
+// FastInfeasible conservatively reports that no Theorem-1 condition
+// can hold for the subset, reading only three matrix entries. It never
+// returns true for a subset Analyze would accept: mu(k) is
+// non-increasing in the condition level k while every theta(k) is a
+// product of factors in (0, 1] and hence at most 1, so
+// mu(K-1) = U_{K-1}(K-1) + minTerm clearly above 1 rules out every
+// condition. Probe loops use it to skip the full lambda recursion for
+// hopelessly overloaded cores; false only means "run the analysis".
+func FastInfeasible(m *mc.UtilMatrix) bool {
+	k := m.K()
+	if k < 2 {
+		return false
+	}
+	d := m.Data()
+	return fastInfeasible(d, k,
+		d[(k-1)*k+(k-1)], d[(k-1)*k+(k-2)], d[(k-2)*k+(k-2)])
+}
+
+func fastInfeasible(d []float64, k int, ukk, ukk1, own1 float64) bool {
+	minTerm := ukk
+	if 1-ukk > Eps {
+		if frac := ukk1 / (1 - ukk); frac < minTerm {
+			minTerm = frac
+		}
+	}
+	return own1+minTerm > 1+Eps+fastGuard
+}
+
+// SimpleFeasibleProbed reports the Eq. 4 sufficient condition for the
+// subset described by the raw K x K matrix data d (UtilMatrix.Data)
+// with one task of criticality crit and utilization row urow virtually
+// added. Every float operation replicates UtilMatrix.AddRow followed
+// by OwnLevelLoad, so the verdict is bit-identical to probing for
+// real — without mutating the matrix.
+func SimpleFeasibleProbed(d []float64, k, crit int, urow []float64) bool {
+	var s float64
+	for j := 0; j < k; j++ {
+		v := d[j*k+j]
+		if j == crit-1 {
+			v += urow[j]
+		}
+		s += v
+	}
+	return s <= 1+Eps
+}
+
+// FastInfeasibleProbed is FastInfeasible — the O(1) overload reject
+// derived from the Eq. 5 min term bounding every Theorem-1 mu(k) from
+// below — evaluated on the virtually probed subset (same contract as
+// SimpleFeasibleProbed: no mutation, bit-identical verdict).
+func FastInfeasibleProbed(d []float64, k, crit int, urow []float64) bool {
+	if k < 2 {
+		return false
+	}
+	ukk := d[(k-1)*k+(k-1)]
+	ukk1 := d[(k-1)*k+(k-2)]
+	own1 := d[(k-2)*k+(k-2)]
+	switch crit {
+	case k:
+		ukk += urow[k-1]
+		ukk1 += urow[k-2]
+	case k - 1:
+		own1 += urow[k-2]
+	}
+	return fastInfeasible(d, k, ukk, ukk1, own1)
+}
+
+// minTermProbed computes the Eq. 5 min term of the virtually probed
+// subset with the exact float operations of AnalyzeInto.
+func minTermProbed(d []float64, k, crit int, urow []float64) float64 {
+	ukk := d[(k-1)*k+(k-1)]
+	ukk1 := d[(k-1)*k+(k-2)]
+	if crit == k {
+		ukk += urow[k-1]
+		ukk1 += urow[k-2]
+	}
+	minTerm := ukk
+	if 1-ukk > Eps {
+		if frac := ukk1 / (1 - ukk); frac < minTerm {
+			minTerm = frac
+		}
+	}
+	return minTerm
+}
+
+// FeasibleProbed reports the Theorem-1 verdict for the virtually
+// probed subset: the same boolean Analyze would produce after adding a
+// task of criticality crit with utilization row urow, without mutating
+// anything. Every float operation — the Eq. 5 min term, the top-down
+// mu accumulation, the Eq. 6 lambda recursion and the theta products —
+// replicates AnalyzeInto's exactly, so the verdict is bit-identical;
+// the savings come from structure, not arithmetic: no report is
+// filled, lambda_j is only derived up to the first holding condition
+// (in particular the condition-unused lambda_K never is), and the scan
+// stops at the first accept or the first invalid lambda (which poisons
+// every later theta in AnalyzeInto too).
+func FeasibleProbed(d []float64, k, crit int, urow []float64) bool {
+	if k == 1 {
+		u := d[0]
+		if crit == 1 {
+			u += urow[0]
+		}
+		return u <= 1+Eps
+	}
+	minTerm := minTermProbed(d, k, crit, urow)
+	var muBuf [16]float64
+	mu := muBuf[:]
+	if k > len(muBuf) {
+		mu = make([]float64, k)
+	}
+	sumOwn := 0.0
+	for i := k - 1; i >= 1; i-- {
+		v := d[(i-1)*k+(i-1)]
+		if i == crit {
+			v += urow[i-1]
+		}
+		sumOwn += v
+		mu[i-1] = sumOwn + minTerm
+	}
+	theta := 1.0
+	lambda := 0.0 // lambda_1
+	prod := 1.0   // prod_{x<j} (1 - lambda_x), as in the lambda recursion
+	for cond := 1; cond <= k-1; cond++ {
+		if cond >= 2 {
+			// Derive lambda_cond (Eq. 6, j = cond).
+			prod *= 1 - lambda
+			if prod <= Eps {
+				return false
+			}
+			var num float64
+			for x := cond; x <= k; x++ {
+				v := d[(x-1)*k+(cond-2)]
+				if x == crit {
+					v += urow[cond-2]
+				}
+				num += v
+			}
+			num /= prod
+			dd := d[(cond-2)*k+(cond-2)]
+			if crit == cond-1 {
+				dd += urow[cond-2]
+			}
+			den := 1 - dd/prod
+			if den <= Eps {
+				return false
+			}
+			lambda = num / den
+			if lambda < 0 || lambda >= 1 {
+				return false
+			}
+		}
+		theta *= 1 - lambda
+		if theta-mu[cond-1] >= -Eps {
+			return true
+		}
+	}
+	return false
+}
+
+// UtilFloorProbed returns a certified lower bound on the Eq. 9 core
+// utilization — under either reading — that Analyze would report for
+// the virtually probed subset, or -Inf when K < 2 (no bound
+// available). Since every theta(k) is at most 1 and mu(k) is
+// non-increasing in k, any holding condition has availability
+// A(k) <= 1 - mu(K-1) and hence core utilization >= mu(K-1); the
+// returned value keeps a 1e-11 band below that, far above the few
+// ulps of summation rounding separating this mu(K-1) from the
+// analysis's. Probe loops use it to skip the full analysis for cores
+// that cannot beat the incumbent candidate.
+func UtilFloorProbed(d []float64, k, crit int, urow []float64) float64 {
+	if k < 2 {
+		return math.Inf(-1)
+	}
+	own1 := d[(k-2)*k+(k-2)]
+	if crit == k-1 {
+		own1 += urow[k-2]
+	}
+	return own1 + minTermProbed(d, k, crit, urow) - 1e-11
 }
 
 // DualFeasible implements the dual-criticality specialization Eq. 7:
@@ -248,7 +441,7 @@ func Lambdas(m *mc.UtilMatrix) (lambda []float64, ok []bool) {
 	k := m.K()
 	lambda = make([]float64, k)
 	ok = make([]bool, k)
-	lambdas(m, lambda, ok)
+	lambdas(m.Data(), k, lambda, ok)
 	return lambda, ok
 }
 
@@ -261,8 +454,11 @@ func Lambdas(m *mc.UtilMatrix) (lambda []float64, ok []bool) {
 // Once a lambda_j is invalid (denominator <= 0 or value outside [0,1)),
 // all subsequent factors are flagged invalid too, since the recursion
 // depends on the running product.
-func lambdas(m *mc.UtilMatrix, lambda []float64, ok []bool) {
-	k := m.K()
+//
+// d is the raw row-major K x K matrix data (UtilMatrix.Data); the sums
+// run in the same index order as the At-based formulation, so the
+// factors are bit-identical to it.
+func lambdas(d []float64, k int, lambda []float64, ok []bool) {
 	lambda[0], ok[0] = 0, true
 	prod := 1.0
 	valid := true
@@ -278,11 +474,13 @@ func lambdas(m *mc.UtilMatrix, lambda []float64, ok []bool) {
 			continue
 		}
 		var num float64
-		for x := j; x <= k; x++ {
-			num += m.At(x, j-1)
+		// Column j-2, rows j..K: strength-reduced to one index += k per
+		// step; additions run in the same row order as the x loop.
+		for idx := (j-1)*k + (j - 2); idx < k*k; idx += k {
+			num += d[idx]
 		}
 		num /= prod
-		den := 1 - m.At(j-1, j-1)/prod
+		den := 1 - d[(j-2)*k+(j-2)]/prod
 		if den <= Eps {
 			valid = false
 			lambda[j-1], ok[j-1] = math.NaN(), false

@@ -1,0 +1,118 @@
+package edfvd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"catpa/internal/mc"
+)
+
+// The virtual probe screens promise verdicts identical to physically
+// adding the candidate row and running the full analysis. These tests
+// pin that contract:
+//
+//   - FeasibleProbed must match the post-add Analyze verdict exactly
+//     (it is an equivalence, not a one-sided screen);
+//   - SimpleFeasibleProbed acceptance implies feasibility;
+//   - FastInfeasibleProbed rejection implies infeasibility;
+//   - UtilFloorProbed never exceeds the post-add core utilization
+//     under either Eq. 9 reading;
+//   - the screens leave the matrix bit-identical (they never mutate).
+
+// checkProbedScreens runs every screen for the probe task against the
+// ground truth of a physical add + Analyze on a throwaway clone.
+func checkProbedScreens(t *testing.T, m *mc.UtilMatrix, probe *mc.Task) {
+	t.Helper()
+	k := m.K()
+	row := make([]float64, k)
+	probe.UtilRow(k, row)
+	urow := row[:probe.Crit]
+
+	before := append([]float64(nil), m.Data()...)
+	gotFeasible := FeasibleProbed(m.Data(), k, probe.Crit, urow)
+	gotSimple := SimpleFeasibleProbed(m.Data(), k, probe.Crit, urow)
+	gotFast := k >= 2 && FastInfeasibleProbed(m.Data(), k, probe.Crit, urow)
+	gotFloor := UtilFloorProbed(m.Data(), k, probe.Crit, urow)
+	for i, v := range m.Data() {
+		if math.Float64bits(v) != math.Float64bits(before[i]) {
+			t.Fatalf("probed screens mutated the matrix at %d: %v -> %v", i, before[i], v)
+		}
+	}
+
+	real := m.Clone()
+	real.Add(probe)
+	r := Analyze(real)
+
+	if gotFeasible != r.Feasible() {
+		t.Fatalf("FeasibleProbed = %v, post-add Analyze = %v (crit %d)\nmatrix:\n%s",
+			gotFeasible, r.Feasible(), probe.Crit, real)
+	}
+	if gotSimple && !r.Feasible() {
+		t.Fatalf("SimpleFeasibleProbed accepts an infeasible subset\nmatrix:\n%s", real)
+	}
+	if gotFast && r.Feasible() {
+		t.Fatalf("FastInfeasibleProbed rejects a feasible subset\nmatrix:\n%s", real)
+	}
+	if r.Feasible() && k >= 2 {
+		if gotFloor > r.CoreUtil || gotFloor > r.CoreUtilWorst {
+			t.Fatalf("UtilFloorProbed = %v exceeds CoreUtil %v / CoreUtilWorst %v\nmatrix:\n%s",
+				gotFloor, r.CoreUtil, r.CoreUtilWorst, real)
+		}
+	}
+}
+
+// randTask draws a valid task biased toward the interesting boundary
+// region (subsets that are neither trivially light nor hopeless).
+func randTask(rng *rand.Rand, id, maxK int) mc.Task {
+	period := float64(1 + rng.Intn(2000))
+	crit := 1 + rng.Intn(maxK)
+	u1 := 0.02 + 0.6*rng.Float64()
+	w := make([]float64, crit)
+	w[0] = u1 * period
+	growth := 1 + 2*rng.Float64()
+	for j := 1; j < crit; j++ {
+		w[j] = math.Min(w[j-1]*growth, period)
+	}
+	return mc.MustTask(id, "", period, w...)
+}
+
+// TestProbedScreensMatchAnalysis sweeps K = 1..6 with random resident
+// subsets and probe tasks, comparing every screen against the physical
+// add-and-analyze ground truth.
+func TestProbedScreensMatchAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160816))
+	for k := 1; k <= 6; k++ {
+		for trial := 0; trial < 300; trial++ {
+			m := mc.NewUtilMatrix(k)
+			n := rng.Intn(6)
+			for i := 0; i < n; i++ {
+				tk := randTask(rng, i+1, k)
+				m.Add(&tk)
+			}
+			probe := randTask(rng, n+1, k)
+			checkProbedScreens(t, m, &probe)
+		}
+	}
+}
+
+// FuzzProbedScreens drives the same contract from fuzz-decoded task
+// sets: the last decoded task is the probe, the rest are resident.
+func FuzzProbedScreens(f *testing.F) {
+	f.Add(tableISeed())
+	f.Add(encodeTask(1000, 999, 4, 128))
+	f.Add(append(encodeTask(200, 600, 2, 32), encodeTask(200, 400, 1, 0)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		ts := decodeTaskSet(t, data, k)
+		if ts == nil {
+			t.Skip("not enough bytes for one task")
+		}
+		n := ts.Len()
+		m := mc.NewUtilMatrix(k)
+		for i := 0; i < n-1; i++ {
+			m.Add(&ts.Tasks[i])
+		}
+		checkProbedScreens(t, m, &ts.Tasks[n-1])
+	})
+}

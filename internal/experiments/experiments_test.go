@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -209,4 +210,69 @@ func TestCellValuePanicsOnUnknownMetric(t *testing.T) {
 	}()
 	var c Cell
 	c.value(Metric(42))
+}
+
+// TestMeansAgreeAcrossWorkerCounts: the mean metrics use compensated
+// accumulation, so splitting the population across workers (which
+// changes the per-stripe summation order) moves them by at most 1e-9.
+func TestMeansAgreeAcrossWorkerCounts(t *testing.T) {
+	build := func(workers int) *Result {
+		s := smallSweep(120, workers)
+		base := s.Apply
+		s.Apply = func(p *Params, x float64) { shrink(p); base(p, x) }
+		return s.Run()
+	}
+	ref := build(1)
+	for _, workers := range []int{2, 3, 5, 8} {
+		r := build(workers)
+		for pi := range ref.Points {
+			for si := range ref.Points[pi].Cells {
+				for _, m := range []Metric{Usys, Uavg, Imbalance} {
+					a := ref.Value(pi, si, m)
+					b := r.Value(pi, si, m)
+					if d := math.Abs(a - b); d > 1e-9 {
+						t.Errorf("workers=%d point %d scheme %d metric %v: drift %v",
+							workers, pi, si, m, d)
+					}
+				}
+				ha := ref.Points[pi].Cells[si].Sched.Hits()
+				hb := r.Points[pi].Cells[si].Sched.Hits()
+				if ha != hb {
+					t.Errorf("workers=%d point %d scheme %d: hits %d != %d", workers, pi, si, ha, hb)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolReuseAcrossPoints stresses the persistent pool: many points
+// with differing (M, K) dimensions on the same workers, so Partitioner
+// Reset and Generator reuse are exercised across jobs (and, under
+// -race, concurrent access to the shared job/config state is checked).
+func TestPoolReuseAcrossPoints(t *testing.T) {
+	s := &Sweep{
+		Param:  "M",
+		Values: []float64{2, 4, 8, 4, 2},
+		Apply: func(p *Params, x float64) {
+			shrink(p)
+			p.M = int(x)
+			p.K = 2 + int(x)%3
+		},
+		Sets:    48,
+		Seed:    11,
+		Workers: 6,
+	}
+	r := s.Run()
+	serial := &Sweep{Param: s.Param, Values: s.Values, Apply: s.Apply,
+		Sets: s.Sets, Seed: s.Seed, Workers: 1}
+	want := serial.Run()
+	for pi := range r.Points {
+		for si := range r.Points[pi].Cells {
+			ha := r.Points[pi].Cells[si].Sched.Hits()
+			hb := want.Points[pi].Cells[si].Sched.Hits()
+			if ha != hb {
+				t.Errorf("point %d scheme %d: pooled hits %d != serial %d", pi, si, ha, hb)
+			}
+		}
+	}
 }

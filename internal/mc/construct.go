@@ -42,3 +42,31 @@ func MustTask(id int, name string, period float64, wcet ...float64) Task {
 func NewTaskSetCap(capacity int) *TaskSet {
 	return &TaskSet{Tasks: make([]Task, 0, capacity)}
 }
+
+// NewTaskSlab is NewTask without the defensive WCET copy: the returned
+// task aliases wcet directly. It exists for slab-backed generators that
+// carve per-task WCET vectors out of one reusable arena; the caller
+// must not mutate wcet for the lifetime of the task. Validation is
+// identical to NewTask.
+func NewTaskSlab(id int, name string, period float64, wcet []float64) (Task, error) {
+	t := Task{
+		ID:     id,
+		Name:   name,
+		Period: period,
+		Crit:   len(wcet),
+		WCET:   wcet,
+	}
+	if err := t.Validate(); err != nil {
+		return Task{}, err
+	}
+	return t, nil
+}
+
+// MustTaskSlab is NewTaskSlab panicking on invalid parameters.
+func MustTaskSlab(id int, name string, period float64, wcet []float64) Task {
+	t, err := NewTaskSlab(id, name, period, wcet)
+	if err != nil {
+		panic(fmt.Sprintf("mc: MustTaskSlab: %v", err))
+	}
+	return t
+}

@@ -59,19 +59,89 @@ func Precedes(a *Task, ca float64, b *Task, cb float64) bool {
 	return a.ID < b.ID
 }
 
+// MaxContributionsInto fills key[i] with task i's maximum utilization
+// contribution C_i (Eq. 12) without allocating per-task slices. key is
+// reused when its capacity suffices; the (possibly re-grown) slice is
+// returned. The values are bitwise those of Contributions().Max.
+func MaxContributionsInto(ts *TaskSet, key []float64) []float64 {
+	k := ts.MaxCrit()
+	var totalsArr [16]float64
+	totals := totalsArr[:]
+	if k+1 > len(totals) {
+		totals = make([]float64, k+1)
+	}
+	for j := 1; j <= k; j++ {
+		totals[j] = ts.TotalUtilAt(j)
+	}
+	key = resizeFloats(key, len(ts.Tasks))
+	for i := range ts.Tasks {
+		t := &ts.Tasks[i]
+		maxC := 0.0
+		for lev := 1; lev <= t.Crit; lev++ {
+			v := 0.0
+			if totals[lev] > 0 {
+				v = t.Util(lev) / totals[lev]
+			}
+			if v > maxC {
+				maxC = v
+			}
+		}
+		key[i] = maxC
+	}
+	return key
+}
+
+// MaxUtilsInto fills key[i] with task i's own-level utilization
+// u_i(l_i), the primary key of the classical decreasing orders. key is
+// reused when its capacity suffices.
+func MaxUtilsInto(ts *TaskSet, key []float64) []float64 {
+	key = resizeFloats(key, len(ts.Tasks))
+	for i := range ts.Tasks {
+		key[i] = ts.Tasks[i].MaxUtil()
+	}
+	return key
+}
+
+// sortIndexByKey fills idx with 0..N-1 sorted by decreasing key, ties
+// broken by higher criticality and then smaller ID — the shared tie
+// rules of every ordering in the paper. idx is reused when its
+// capacity suffices.
+func sortIndexByKey(ts *TaskSet, idx []int, key []float64) []int {
+	n := len(ts.Tasks)
+	if cap(idx) < n {
+		idx = make([]int, n)
+	}
+	idx = idx[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	sortIdx(idx, func(i, j int) bool {
+		return Precedes(&ts.Tasks[i], key[i], &ts.Tasks[j], key[j])
+	})
+	return idx
+}
+
+// SortByContributionInto is SortByContribution with caller-provided
+// scratch: idx receives the order, key the per-task max contributions.
+// Both are reused when their capacity suffices, making the call
+// allocation-free at steady state. It returns the order slice.
+func SortByContributionInto(ts *TaskSet, idx []int, key []float64) ([]int, []float64) {
+	key = MaxContributionsInto(ts, key)
+	return sortIndexByKey(ts, idx, key), key
+}
+
+// SortByMaxUtilInto is SortByMaxUtil with caller-provided scratch,
+// mirroring SortByContributionInto.
+func SortByMaxUtilInto(ts *TaskSet, idx []int, key []float64) ([]int, []float64) {
+	key = MaxUtilsInto(ts, key)
+	return sortIndexByKey(ts, idx, key), key
+}
+
 // SortByContribution returns the indices of ts.Tasks sorted by
 // decreasing ordering priority (the allocation order used by CA-TPA,
 // Section III-A). ts itself is not modified.
 func SortByContribution(ts *TaskSet) []int {
-	contrib := Contributions(ts)
-	idx := make([]int, len(ts.Tasks))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Insertion-style comparison via sort with the strict relation.
-	sortIdx(idx, func(i, j int) bool {
-		return Precedes(&ts.Tasks[i], contrib[i].Max, &ts.Tasks[j], contrib[j].Max)
-	})
+	idx, _ := SortByContributionInto(ts, nil, nil)
 	return idx
 }
 
@@ -81,21 +151,17 @@ func SortByContribution(ts *TaskSet) []int {
 // smaller ID, mirroring the CA-TPA tie rules so that comparisons
 // between heuristics differ only in the primary key.
 func SortByMaxUtil(ts *TaskSet) []int {
-	idx := make([]int, len(ts.Tasks))
-	for i := range idx {
-		idx[i] = i
-	}
-	sortIdx(idx, func(i, j int) bool {
-		a, b := &ts.Tasks[i], &ts.Tasks[j]
-		if diff := a.MaxUtil() - b.MaxUtil(); diff > Eps || diff < -Eps {
-			return diff > 0
-		}
-		if a.Crit != b.Crit {
-			return a.Crit > b.Crit
-		}
-		return a.ID < b.ID
-	})
+	idx, _ := SortByMaxUtilInto(ts, nil, nil)
 	return idx
+}
+
+// resizeFloats returns s resized to n, reallocating only when the
+// capacity is insufficient.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // sortIdx sorts idx with the provided less relation over element

@@ -61,6 +61,17 @@ func (t *Task) Util(k int) float64 {
 	return t.C(k) / t.Period
 }
 
+// UtilRow fills dst[k-1] = u_i(k) for k = 1..kmax, saturating at the
+// task's own criticality level like Util. dst must have length at
+// least kmax. The values are bitwise those of Util, so matrices built
+// from precomputed rows (UtilMatrix.AddRow) match matrices built from
+// Add exactly.
+func (t *Task) UtilRow(kmax int, dst []float64) {
+	for k := 1; k <= kmax; k++ {
+		dst[k-1] = t.Util(k)
+	}
+}
+
 // MaxUtil returns the task's utilization at its own criticality level,
 // u_i(l_i) — the "maximum utilization" used by the classical FFD, BFD
 // and WFD heuristics.

@@ -14,18 +14,167 @@ import (
 // than the set's own maximum) matters because the generator may
 // produce sets that happen not to populate the top level.
 //
-// The returned result is self-contained; ts is not modified.
+// The returned result is self-contained; ts is not modified. Sweeps
+// that partition many sets with the same dimensions should reuse a
+// Partitioner instead, which amortizes all internal storage.
 func Partition(ts *mc.TaskSet, m, k int, scheme Scheme, opts *Options) *Result {
+	return New(m, k).Run(ts, scheme, opts)
+}
+
+// allocator carries the reusable state of partitioning runs: per-core
+// matrices, cached analyses, ordering scratch and precomputed per-task
+// utilization rows. It is re-dimensioned by reset and cleared by clear,
+// so steady-state runs perform no allocations.
+type allocator struct {
+	m, k int
+
+	// Per-run inputs.
+	ts     *mc.TaskSet
+	scheme Scheme
+	opts   *Options
+
+	// Per-core state.
+	mats []*mc.UtilMatrix // per-core incremental U_j(k)
+	// utils is the per-core U^Psi in the configured Eq. 9 reading
+	// (CA-TPA's decision metric); utilEval is the standard reading
+	// used by the result metrics. They differ only under Eq9Literal.
+	utils    []float64
+	utilEval []float64
+	ownLoad  []float64      // per-core Eq. 4 own-level load, refreshed on place
+	reps     []edfvd.Report // cached per-core analysis of the placed subset
+	repOK    []bool         // reps[c] matches the core's current subset
+	tasks    [][]int        // per-core task indices in allocation order
+
+	// Per-task state.
+	assign []int     // task -> core
+	urows  []float64 // N x K precomputed utilization rows (Task.UtilRow)
+
+	// Ordering cache: one slot per OrderPolicy, valid for the current
+	// task set. Schemes sharing an effective ordering (all classical
+	// heuristics default to MaxUtilOrder) then sort the set only once
+	// per EvaluateAll batch.
+	ordIdx [2][]int
+	ordKey [2][]float64
+	ordOK  [2]bool
+
+	failed int // first unplaceable task, -1
+
+	// Probe state. scratch receives each probe's analysis; when a probe
+	// becomes the current best candidate, scratch and probeRep are
+	// swapped so probeRep always holds the winning analysis, which
+	// place commits without re-running edfvd.AnalyzeInto. rowSave
+	// backs the SaveRow/RestoreRow exact undo of probe additions.
+	scratch  edfvd.Report
+	probeRep edfvd.Report
+	probeOK  bool
+	rowSave  []float64
+
+	// emptyRep is the analysis of an empty K-level subset, shared by
+	// every core that ends a run without tasks.
+	emptyRep edfvd.Report
+
+	trace []Step
+}
+
+// reset re-dimensions the allocator for m cores and k levels, reusing
+// storage where the dimensions allow.
+func (a *allocator) reset(m, k int) {
 	if m < 1 {
 		panic(fmt.Sprintf("partition: invalid core count %d", m))
-	}
-	if maxCrit := ts.MaxCrit(); k < maxCrit {
-		panic(fmt.Sprintf("partition: K=%d below task set criticality %d", k, maxCrit))
 	}
 	if k < 1 {
 		k = 1
 	}
-	a := newAllocator(ts, m, k, scheme, opts)
+	if m == a.m && k == a.k && a.mats != nil {
+		return
+	}
+	rebuild := k != a.k
+	a.m, a.k = m, k
+	if cap(a.mats) < m {
+		mats := make([]*mc.UtilMatrix, m)
+		copy(mats, a.mats)
+		a.mats = mats
+	} else {
+		a.mats = a.mats[:m]
+	}
+	for c := range a.mats {
+		if a.mats[c] == nil || rebuild {
+			a.mats[c] = mc.NewUtilMatrix(k)
+		}
+	}
+	a.utils = resizeFloats(a.utils, m)
+	a.utilEval = resizeFloats(a.utilEval, m)
+	a.ownLoad = resizeFloats(a.ownLoad, m)
+	a.repOK = resizeBools(a.repOK, m)
+	if cap(a.reps) < m {
+		reps := make([]edfvd.Report, m)
+		copy(reps, a.reps)
+		a.reps = reps
+	} else {
+		a.reps = a.reps[:m]
+	}
+	if cap(a.tasks) < m {
+		tasks := make([][]int, m)
+		copy(tasks, a.tasks)
+		a.tasks = tasks
+	} else {
+		a.tasks = a.tasks[:m]
+	}
+	a.rowSave = resizeFloats(a.rowSave, k)
+	a.mats[0].Reset()
+	edfvd.AnalyzeInto(a.mats[0], &a.emptyRep)
+}
+
+// prepSet installs a task set: it validates the dimensions, precomputes
+// the per-task utilization rows and invalidates the ordering cache.
+// Once prepared, any number of runPrepared calls may share this work
+// (the EvaluateAll batch path).
+func (a *allocator) prepSet(ts *mc.TaskSet) {
+	if maxCrit := ts.MaxCrit(); a.k < maxCrit {
+		panic(fmt.Sprintf("partition: K=%d below task set criticality %d", a.k, maxCrit))
+	}
+	a.ts = ts
+	a.ordOK[0], a.ordOK[1] = false, false
+	n := ts.Len()
+	// Precompute every task's per-level utilization row once, so the
+	// probe loops add K cached floats instead of re-deriving c(k)/p.
+	a.urows = resizeFloats(a.urows, n*a.k)
+	for i := 0; i < n; i++ {
+		ts.Tasks[i].UtilRow(a.k, a.urows[i*a.k:(i+1)*a.k])
+	}
+}
+
+// clearRun resets the per-run state for the already-prepared task set.
+func (a *allocator) clearRun(scheme Scheme, opts *Options) {
+	a.scheme, a.opts = scheme, opts
+	a.failed = -1
+	a.probeOK = false
+	a.trace = a.trace[:0]
+	for c := 0; c < a.m; c++ {
+		a.mats[c].Reset()
+		a.utils[c] = 0
+		a.utilEval[c] = 0
+		a.ownLoad[c] = a.mats[c].OwnLevelLoad()
+		a.repOK[c] = false
+		a.tasks[c] = a.tasks[c][:0]
+	}
+	a.assign = resizeInts(a.assign, a.ts.Len())
+	for i := range a.assign {
+		a.assign[i] = -1
+	}
+}
+
+// run executes one partitioning pass (allocation only; the caller
+// assembles a Result or Eval afterwards).
+func (a *allocator) run(ts *mc.TaskSet, scheme Scheme, opts *Options) {
+	a.prepSet(ts)
+	a.runPrepared(scheme, opts)
+}
+
+// runPrepared executes one pass over the task set installed by the
+// last prepSet.
+func (a *allocator) runPrepared(scheme Scheme, opts *Options) {
+	a.clearRun(scheme, opts)
 	switch scheme {
 	case WFD, FFD, BFD:
 		a.runClassic(scheme)
@@ -36,61 +185,44 @@ func Partition(ts *mc.TaskSet, m, k int, scheme Scheme, opts *Options) *Result {
 	default:
 		panic(fmt.Sprintf("partition: unknown scheme %v", scheme))
 	}
-	return a.finish()
 }
 
-// allocator carries the shared state of one partitioning run.
-type allocator struct {
-	ts     *mc.TaskSet
-	m, k   int
-	scheme Scheme
-	opts   *Options
-
-	mats    []*mc.UtilMatrix // per-core incremental U_j(k)
-	utils   []float64        // per-core U^Psi (Eq. 9), kept current
-	tasks   [][]int          // per-core task indices in allocation order
-	assign  []int            // task -> core
-	failed  int              // first unplaceable task, -1
-	scratch edfvd.Report     // reusable analysis storage
-	trace   []Step
+// urow returns task ti's precomputed utilization row.
+func (a *allocator) urow(ti int) []float64 {
+	return a.urows[ti*a.k : (ti+1)*a.k]
 }
 
-func newAllocator(ts *mc.TaskSet, m, k int, scheme Scheme, opts *Options) *allocator {
-	a := &allocator{
-		ts:     ts,
-		m:      m,
-		k:      k,
-		scheme: scheme,
-		opts:   opts,
-		mats:   make([]*mc.UtilMatrix, m),
-		utils:  make([]float64, m),
-		tasks:  make([][]int, m),
-		assign: make([]int, ts.Len()),
-		failed: -1,
-	}
-	for i := range a.mats {
-		a.mats[i] = mc.NewUtilMatrix(k)
-	}
-	for i := range a.assign {
-		a.assign[i] = -1
-	}
-	return a
+// probeAdd tentatively adds task ti to core c, first snapshotting the
+// affected matrix row so probeUndo can restore it bitwise (an
+// arithmetic Remove could leave one-ulp residue in the sums).
+func (a *allocator) probeAdd(c, ti int) {
+	crit := a.ts.Tasks[ti].Crit
+	a.mats[c].SaveRow(crit, a.rowSave)
+	a.mats[c].AddRow(crit, a.urow(ti))
+}
+
+// probeUndo exactly reverts the matching probeAdd.
+func (a *allocator) probeUndo(c, ti int) {
+	a.mats[c].RestoreRow(a.ts.Tasks[ti].Crit, a.rowSave)
 }
 
 // feasibleWith reports whether core c stays schedulable when task ti
-// is added, using the baseline policy of Section IV: the cheap Eq. 4
-// test first, then the Theorem-1 test.
+// is added, used by the classical schemes of Section IV. The whole
+// test is virtual — the cheap Eq. 4 accept, the O(1) overload reject,
+// and the early-exiting full Theorem-1 verdict all read the matrix
+// without mutating it, so classic placement never probes and never
+// fills a report.
 func (a *allocator) feasibleWith(c, ti int) bool {
-	t := &a.ts.Tasks[ti]
-	mat := a.mats[c]
-	mat.Add(t)
-	ok := edfvd.SimpleFeasible(mat)
-	if !ok {
-		edfvd.AnalyzeInto(mat, &a.scratch)
-		ok = a.scratch.Feasible()
+	crit := a.ts.Tasks[ti].Crit
+	d := a.mats[c].Data()
+	u := a.urow(ti)
+	if edfvd.SimpleFeasibleProbed(d, a.k, crit, u) {
+		return true
 	}
-	mat.Remove(t)
-	return ok
+	if a.k >= 2 && edfvd.FastInfeasibleProbed(d, a.k, crit, u) {
+		return false
+	}
+	return edfvd.FeasibleProbed(d, a.k, crit, u)
 }
 
 // coreUtil extracts the configured Eq. 9 reading from the scratch
@@ -102,43 +234,100 @@ func (a *allocator) coreUtil() float64 {
 	return a.scratch.CoreUtil
 }
 
+// keepProbe marks the analysis currently in scratch as the winning
+// candidate's, to be committed by place without re-analysis.
+func (a *allocator) keepProbe() {
+	a.scratch, a.probeRep = a.probeRep, a.scratch
+	a.probeOK = true
+}
+
 // utilWith returns the core utilization U^{Psi_c + tau_ti} of Eq. 15,
-// +Inf when the extended subset is infeasible.
+// +Inf when the extended subset is infeasible. The analysis is left in
+// scratch for keepProbe.
 func (a *allocator) utilWith(c, ti int) float64 {
-	t := &a.ts.Tasks[ti]
-	mat := a.mats[c]
-	mat.Add(t)
-	edfvd.AnalyzeInto(mat, &a.scratch)
+	if edfvd.FastInfeasibleProbed(a.mats[c].Data(), a.k, a.ts.Tasks[ti].Crit, a.urow(ti)) {
+		// No condition can hold: CoreUtil would be +Inf under either
+		// Eq. 9 reading, so skip the probe and the full analysis.
+		return math.Inf(1)
+	}
+	a.probeAdd(c, ti)
+	edfvd.AnalyzeInto(a.mats[c], &a.scratch)
 	u := a.coreUtil()
-	mat.Remove(t)
+	a.probeUndo(c, ti)
 	return u
 }
 
-// place commits task ti to core c and refreshes the core's cached
-// utilization.
+// place commits task ti to core c. When a CA-TPA probe cached the
+// winning core's analysis (probeOK), it is committed directly; the
+// classical schemes defer per-core analysis to the finishing pass
+// entirely, since their placement decisions never read core
+// utilizations (only own-level loads). Tracing forces the eager
+// analysis because Step.Util reports the post-placement utilization.
 func (a *allocator) place(ti, c int) {
 	prev := a.utils[c]
-	a.mats[c].Add(&a.ts.Tasks[ti])
+	a.mats[c].AddRow(a.ts.Tasks[ti].Crit, a.urow(ti))
+	a.ownLoad[c] = a.mats[c].OwnLevelLoad()
 	a.tasks[c] = append(a.tasks[c], ti)
 	a.assign[ti] = c
-	edfvd.AnalyzeInto(a.mats[c], &a.scratch)
-	a.utils[c] = a.coreUtil()
+	switch {
+	case a.probeOK:
+		a.reps[c], a.probeRep = a.probeRep, a.reps[c]
+		a.probeOK = false
+		a.commitRep(c)
+	case a.opts.trace():
+		edfvd.AnalyzeInto(a.mats[c], &a.reps[c])
+		a.commitRep(c)
+	default:
+		a.repOK[c] = false
+	}
 	if a.opts.trace() {
 		a.trace = append(a.trace, Step{Task: ti, Core: c, Util: a.utils[c], Increment: a.utils[c] - prev})
 	}
 }
 
+// commitRep refreshes the cached per-core utilizations from reps[c].
+func (a *allocator) commitRep(c int) {
+	if a.opts.eq9Literal() {
+		a.utils[c] = a.reps[c].CoreUtilWorst
+	} else {
+		a.utils[c] = a.reps[c].CoreUtil
+	}
+	a.utilEval[c] = a.reps[c].CoreUtil
+	a.repOK[c] = true
+}
+
 func (a *allocator) fail(ti int) {
 	a.failed = ti
+	a.probeOK = false
 	if a.opts.trace() {
 		a.trace = append(a.trace, Step{Task: ti, Core: -1})
 	}
 }
 
+// orderTasks resolves the ordering policy against the scheme's default
+// and returns the sorted task order, computing it at most once per
+// prepared task set and policy (the order is a pure function of both).
+func (a *allocator) orderTasks(def OrderPolicy) []int {
+	policy := a.opts.order(def)
+	slot := 0
+	if policy == MaxUtilOrder {
+		slot = 1
+	}
+	if !a.ordOK[slot] {
+		if policy == ContributionOrder {
+			a.ordIdx[slot], a.ordKey[slot] = mc.SortByContributionInto(a.ts, a.ordIdx[slot], a.ordKey[slot])
+		} else {
+			a.ordIdx[slot], a.ordKey[slot] = mc.SortByMaxUtilInto(a.ts, a.ordIdx[slot], a.ordKey[slot])
+		}
+		a.ordOK[slot] = true
+	}
+	return a.ordIdx[slot]
+}
+
 // runClassic implements FFD, BFD and WFD: tasks in decreasing
 // own-level utilization, cores compared by their Eq. 4 own-level load.
 func (a *allocator) runClassic(s Scheme) {
-	order := a.classicOrder()
+	order := a.orderTasks(MaxUtilOrder)
 	for _, ti := range order {
 		c := a.pickClassic(s, ti)
 		if c < 0 {
@@ -147,13 +336,6 @@ func (a *allocator) runClassic(s Scheme) {
 		}
 		a.place(ti, c)
 	}
-}
-
-func (a *allocator) classicOrder() []int {
-	if a.opts.order(MaxUtilOrder) == ContributionOrder {
-		return mc.SortByContribution(a.ts)
-	}
-	return mc.SortByMaxUtil(a.ts)
 }
 
 // pickClassic returns the target core for task ti under FFD/BFD/WFD,
@@ -169,13 +351,14 @@ func (a *allocator) pickClassic(s Scheme, ti int) int {
 		case FFD:
 			return c // first feasible core wins
 		case BFD:
-			// Fullest feasible core: maximize current own-level load.
-			if load := a.mats[c].OwnLevelLoad(); best < 0 || load > bestLoad+mc.Eps {
+			// Fullest feasible core: maximize current own-level load
+			// (cached; refreshed by place via the same OwnLevelLoad sum).
+			if load := a.ownLoad[c]; best < 0 || load > bestLoad+mc.Eps {
 				best, bestLoad = c, load
 			}
 		case WFD:
 			// Emptiest feasible core: minimize current own-level load.
-			if load := a.mats[c].OwnLevelLoad(); best < 0 || load < bestLoad-mc.Eps {
+			if load := a.ownLoad[c]; best < 0 || load < bestLoad-mc.Eps {
 				best, bestLoad = c, load
 			}
 		}
@@ -187,7 +370,7 @@ func (a *allocator) pickClassic(s Scheme, ti int) int {
 // then low-criticality tasks (l_i = 1) with FFD, both in decreasing
 // own-level utilization, per Rodriguez et al.
 func (a *allocator) runHybrid() {
-	order := a.classicOrder()
+	order := a.orderTasks(MaxUtilOrder)
 	for _, ti := range order {
 		if a.ts.Tasks[ti].Crit < 2 {
 			continue
@@ -215,12 +398,7 @@ func (a *allocator) runHybrid() {
 // runCATPA implements Algorithm 1 plus the workload-imbalance fallback
 // of Section III-C.
 func (a *allocator) runCATPA() {
-	var order []int
-	if a.opts.order(ContributionOrder) == MaxUtilOrder {
-		order = mc.SortByMaxUtil(a.ts)
-	} else {
-		order = mc.SortByContribution(a.ts)
-	}
+	order := a.orderTasks(ContributionOrder)
 	alpha := a.opts.alpha()
 	for _, ti := range order {
 		var c int
@@ -262,17 +440,28 @@ func (a *allocator) imbalance() float64 {
 
 // pickMinIncrement probes every core (lines 5-11 of Algorithm 1) and
 // returns the feasible core with the smallest core-utilization
-// increment, ties broken by smaller index; -1 if none is feasible.
+// increment, ties broken by smaller index; -1 if none is feasible. The
+// winning probe's analysis is retained for place.
 func (a *allocator) pickMinIncrement(ti int) int {
 	best := -1
 	bestInc := math.Inf(1)
+	crit := a.ts.Tasks[ti].Crit
+	urow := a.urow(ti)
 	for c := 0; c < a.m; c++ {
+		// Certified pruning: if even the utilization floor of the
+		// probed core cannot beat the incumbent increment (under the
+		// selection's Eps hysteresis), the full analysis is pointless.
+		// The floor is conservative, so no potential winner is skipped.
+		if floor := edfvd.UtilFloorProbed(a.mats[c].Data(), a.k, crit, urow); floor-a.utils[c] >= bestInc-mc.Eps {
+			continue
+		}
 		u := a.utilWith(c, ti)
 		if math.IsInf(u, 1) {
 			continue // infeasible on this core
 		}
 		if inc := u - a.utils[c]; inc < bestInc-mc.Eps {
 			best, bestInc = c, inc
+			a.keepProbe()
 		}
 	}
 	return best
@@ -291,6 +480,7 @@ func (a *allocator) pickLeastLoaded(ti int) int {
 			continue
 		}
 		best, bestU = c, a.utils[c]
+		a.keepProbe()
 	}
 	return best
 }
@@ -300,34 +490,102 @@ func (a *allocator) pickLeastLoaded(ti int) int {
 func (a *allocator) pickFirstFeasible(ti int) int {
 	for c := 0; c < a.m; c++ {
 		if !math.IsInf(a.utilWith(c, ti), 1) {
+			a.keepProbe()
 			return c
 		}
 	}
 	return -1
 }
 
-// finish assembles the Result.
-func (a *allocator) finish() *Result {
-	r := &Result{
-		Scheme:     a.scheme,
-		M:          a.m,
-		K:          a.k,
-		Feasible:   a.failed < 0,
-		Assignment: a.assign,
-		FailedTask: a.failed,
-		Cores:      make([]CoreInfo, a.m),
-		Trace:      a.trace,
+// coreReport returns the Theorem-1 analysis of core c's final subset,
+// reusing the analysis cached during placement when it is current
+// (always, for CA-TPA) and the shared empty-subset analysis for cores
+// that received no task. Only classical-scheme cores with tasks are
+// analyzed here — the one place the finishing pass still runs
+// edfvd.AnalyzeInto.
+func (a *allocator) coreReport(c int) *edfvd.Report {
+	if a.repOK[c] {
+		return &a.reps[c]
+	}
+	if a.mats[c].Len() == 0 {
+		return &a.emptyRep
+	}
+	edfvd.AnalyzeInto(a.mats[c], &a.reps[c])
+	a.repOK[c] = true
+	return &a.reps[c]
+}
+
+// finishInto assembles the run's Result into r, reusing r's storage.
+func (a *allocator) finishInto(r *Result) {
+	r.Scheme = a.scheme
+	r.M, r.K = a.m, a.k
+	r.Feasible = a.failed < 0
+	r.FailedTask = a.failed
+	r.Assignment = append(r.Assignment[:0], a.assign...)
+	if cap(r.Cores) < a.m {
+		r.Cores = make([]CoreInfo, a.m)
+	} else {
+		r.Cores = r.Cores[:a.m]
 	}
 	for c := 0; c < a.m; c++ {
-		rep := edfvd.Analyze(a.mats[c])
-		r.Cores[c] = CoreInfo{
-			Tasks:        a.tasks[c],
-			Util:         rep.CoreUtil,
-			OwnLevelLoad: a.mats[c].OwnLevelLoad(),
-			FeasibleK:    rep.FeasibleK,
-			Lambda:       append([]float64(nil), rep.Lambda...),
-		}
+		rep := a.coreReport(c)
+		ci := &r.Cores[c]
+		ci.Tasks = append(ci.Tasks[:0], a.tasks[c]...)
+		ci.Util = rep.CoreUtil
+		ci.OwnLevelLoad = a.mats[c].OwnLevelLoad()
+		ci.FeasibleK = rep.FeasibleK
+		ci.Lambda = append(ci.Lambda[:0], rep.Lambda...)
+	}
+	if len(a.trace) > 0 {
+		r.Trace = append(r.Trace[:0], a.trace...)
+	} else {
+		r.Trace = nil
 	}
 	r.finishMetrics()
-	return r
+}
+
+// evaluate computes the cheap Eval summary: the same per-core
+// utilizations the full Result would report, folded with the exact
+// arithmetic of Result.finishMetrics, but without materializing
+// per-core task lists or lambda vectors.
+func (a *allocator) evaluate() Eval {
+	ev := Eval{Feasible: a.failed < 0, FailedTask: a.failed}
+	maxU, minU, sum := math.Inf(-1), math.Inf(1), 0.0
+	for c := 0; c < a.m; c++ {
+		u := a.coreReport(c).CoreUtil
+		sum += u
+		if u > maxU {
+			maxU = u
+		}
+		if u < minU {
+			minU = u
+		}
+	}
+	ev.Usys = maxU
+	ev.Uavg = sum / float64(a.m)
+	if maxU > mc.Eps {
+		ev.Imbalance = (maxU - minU) / maxU
+	}
+	return ev
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }

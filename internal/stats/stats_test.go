@@ -139,3 +139,39 @@ func TestCIShrinks(t *testing.T) {
 		t.Errorf("ci did not shrink: %v -> %v", small.CI95(), large.CI95())
 	}
 }
+
+// TestMeanStripingInvariance: striping one population across any
+// number of accumulators and merging yields (to within a few ulps)
+// the same mean as serial accumulation — the property the parallel
+// sweep harness relies on to make results independent of the worker
+// count.
+func TestMeanStripingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	xs := make([]float64, 10007)
+	for i := range xs {
+		xs[i] = 0.1 + rng.Float64() // well-scaled, like the sweep metrics
+	}
+	var serial Mean
+	for _, x := range xs {
+		serial.Add(x)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 7, 16, 64} {
+		rows := make([]Mean, workers)
+		for i, x := range xs {
+			rows[i%workers].Add(x)
+		}
+		var merged Mean
+		for w := range rows {
+			merged.Merge(&rows[w])
+		}
+		if merged.N() != serial.N() {
+			t.Fatalf("workers=%d: N=%d want %d", workers, merged.N(), serial.N())
+		}
+		if d := math.Abs(merged.Mean() - serial.Mean()); d > 1e-12 {
+			t.Errorf("workers=%d: mean drift %v", workers, d)
+		}
+		if d := math.Abs(merged.Var() - serial.Var()); d > 1e-9 {
+			t.Errorf("workers=%d: var drift %v", workers, d)
+		}
+	}
+}

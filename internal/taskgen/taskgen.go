@@ -135,7 +135,7 @@ func Generate(cfg *Config, rng *rand.Rand) *mc.TaskSet {
 	uBase := cfg.NSU * float64(cfg.M) / float64(n)
 	ts := mc.NewTaskSetCap(n)
 	for i := 0; i < n; i++ {
-		ts.Tasks = append(ts.Tasks, genTask(cfg, rng, i+1, uBase))
+		ts.Tasks = append(ts.Tasks, genTask(cfg, rng, i+1, uBase, nil))
 	}
 	return ts
 }
@@ -149,8 +149,10 @@ func GenerateIndexed(cfg *Config, baseSeed int64, idx int) *mc.TaskSet {
 	return Generate(cfg, rng)
 }
 
-// genTask draws one task.
-func genTask(cfg *Config, rng *rand.Rand, id int, uBase float64) mc.Task {
+// genTask draws one task, backing its WCET vector with w (which must
+// have capacity for cfg.K entries when taken from an arena, or be
+// nil to allocate fresh storage).
+func genTask(cfg *Config, rng *rand.Rand, id int, uBase float64, w []float64) mc.Task {
 	pr := cfg.Periods[rng.Intn(len(cfg.Periods))]
 	p := pr.sample(rng)
 	c1 := (0.2 + rng.Float64()*1.6) * p * uBase
@@ -159,7 +161,11 @@ func genTask(cfg *Config, rng *rand.Rand, id int, uBase float64) mc.Task {
 		crit = cfg.CritOf(id-1, rng)
 	}
 	ifc := cfg.IFC.sample(rng)
-	w := make([]float64, crit)
+	if w == nil {
+		w = make([]float64, crit)
+	} else {
+		w = w[:crit]
+	}
 	c := c1
 	for k := 0; k < crit; k++ {
 		w[k] = c
@@ -178,7 +184,58 @@ func genTask(cfg *Config, rng *rand.Rand, id int, uBase float64) mc.Task {
 			w[k] = p
 		}
 	}
-	return mc.MustTask(id, "", p, w...)
+	return mc.MustTaskSlab(id, "", p, w)
+}
+
+// Generator amortizes workload generation: it owns a reusable seeded
+// random source, a task-slice buffer, and a WCET arena from which each
+// task's vector is carved (mc.MustTaskSlab), so that steady-state
+// generation performs no heap allocations. For a given (cfg, baseSeed,
+// idx) it produces exactly the task set of GenerateIndexed, bit for
+// bit — the experiment harness relies on this to keep parallel sweeps
+// deterministic while reusing one Generator per worker.
+//
+// The returned task set and every task's WCET vector alias the
+// generator's internal storage: they are valid only until the next
+// Generate call. A Generator must not be shared between goroutines.
+type Generator struct {
+	src   rand.Source
+	rng   *rand.Rand
+	arena []float64
+	ts    mc.TaskSet
+}
+
+// NewGenerator returns an empty generator; the seed is installed per
+// Generate call.
+func NewGenerator() *Generator {
+	src := rand.NewSource(1)
+	return &Generator{src: src, rng: rand.New(src)}
+}
+
+// Generate produces the idx-th task set of the replicated experiment
+// rooted at baseSeed, identical to GenerateIndexed(cfg, baseSeed, idx)
+// but reusing all internal storage. See the type comment for the
+// aliasing contract.
+func (g *Generator) Generate(cfg *Config, baseSeed int64, idx int) *mc.TaskSet {
+	if err := cfg.Validate(); err != nil {
+		//lint:ignore mclint/panicmsg Validate errors already carry the "taskgen: " prefix
+		panic(err)
+	}
+	g.src.Seed(mix(baseSeed, int64(idx)))
+	n := cfg.N.sample(g.rng)
+	uBase := cfg.NSU * float64(cfg.M) / float64(n)
+	if need := n * cfg.K; cap(g.arena) < need {
+		g.arena = make([]float64, need)
+	}
+	if cap(g.ts.Tasks) < n {
+		g.ts.Tasks = make([]mc.Task, 0, n)
+	}
+	g.ts.Tasks = g.ts.Tasks[:0]
+	for i := 0; i < n; i++ {
+		w := g.arena[i*cfg.K : i*cfg.K+cfg.K]
+		g.ts.Tasks = append(g.ts.Tasks, genTask(cfg, g.rng, i+1, uBase, w))
+	}
+	return &g.ts
 }
 
 // mix combines a base seed and an index into a well-spread 63-bit

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# bench.sh — the PR-2 performance gate: runs the partitioning fast-path
+# benchmarks with fixed flags and writes BENCH_PR2.json, comparing
+# against the pre-PR baselines recorded below (measured on the same
+# machine immediately before the fast path landed).
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Acceptance criteria checked here (reported, not enforced — the
+# script always exits 0 so it can run as a non-gating check step):
+#   - BenchmarkPartition/CA-TPA via Partitioner: 0 allocs/op steady state
+#   - BenchmarkFig1_NSU: >= 3x speedup over the pre-PR baseline
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR2.json}"
+
+# Pre-PR baselines (commit 92ce90e, go test -bench, -benchtime 10x for
+# Fig1, default for the micro benchmarks; single-core container).
+BASE_FIG1_NS=165278614
+BASE_FIG1_ALLOCS=269617
+BASE_CATPA_NS=161861
+BASE_CATPA_ALLOCS=233
+BASE_CATPA_BYTES=14406
+BASE_TASKGEN_NS=30937
+BASE_TASKGEN_ALLOCS=244
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== bench: Fig1 sweep (10 iterations)" >&2
+go test -run '^$' -bench '^BenchmarkFig1_NSU$' -benchtime 10x -benchmem . | tee -a "$TMP"
+echo "== bench: partition fast path / taskgen / sweep throughput" >&2
+go test -run '^$' -bench '^(BenchmarkPartition|BenchmarkPartitionLegacy|BenchmarkTaskGen|BenchmarkSweepThroughput)$' -benchmem . | tee -a "$TMP"
+
+# pick <pattern> <unit> — extracts the value preceding the given unit
+# token on the first benchmark line matching pattern.
+pick() {
+    awk -v pat="$1" -v unit="$2" \
+        '$0 ~ pat { for (i = 2; i <= NF; i++) if ($i == unit) { print $(i-1); exit } }' "$TMP"
+}
+
+FIG1_NS=$(pick '^BenchmarkFig1_NSU' 'ns/op')
+FIG1_ALLOCS=$(pick '^BenchmarkFig1_NSU' 'allocs/op')
+CATPA_NS=$(pick '^BenchmarkPartition/CA-TPA' 'ns/op')
+CATPA_BYTES=$(pick '^BenchmarkPartition/CA-TPA' 'B/op')
+CATPA_ALLOCS=$(pick '^BenchmarkPartition/CA-TPA' 'allocs/op')
+LEGACY_NS=$(pick '^BenchmarkPartitionLegacy/CA-TPA' 'ns/op')
+TASKGEN_NS=$(pick '^BenchmarkTaskGen' 'ns/op')
+TASKGEN_ALLOCS=$(pick '^BenchmarkTaskGen' 'allocs/op')
+SETS_PER_SEC=$(pick '^BenchmarkSweepThroughput' 'sets/s')
+
+SPEEDUP=$(awk -v a="$BASE_FIG1_NS" -v b="$FIG1_NS" 'BEGIN { printf "%.3f", a/b }')
+
+cat > "$OUT" <<EOF
+{
+  "pr": 2,
+  "description": "allocation-free partitioning fast path + persistent sweep pipeline",
+  "baseline_commit": "92ce90e",
+  "baseline": {
+    "fig1_nsu": {"ns_per_op": $BASE_FIG1_NS, "allocs_per_op": $BASE_FIG1_ALLOCS},
+    "partition_catpa": {"ns_per_op": $BASE_CATPA_NS, "allocs_per_op": $BASE_CATPA_ALLOCS, "bytes_per_op": $BASE_CATPA_BYTES},
+    "taskgen": {"ns_per_op": $BASE_TASKGEN_NS, "allocs_per_op": $BASE_TASKGEN_ALLOCS}
+  },
+  "current": {
+    "fig1_nsu": {"ns_per_op": ${FIG1_NS:-null}, "allocs_per_op": ${FIG1_ALLOCS:-null}},
+    "partition_catpa": {"ns_per_op": ${CATPA_NS:-null}, "allocs_per_op": ${CATPA_ALLOCS:-null}, "bytes_per_op": ${CATPA_BYTES:-null}},
+    "partition_catpa_legacy_oneshot": {"ns_per_op": ${LEGACY_NS:-null}},
+    "taskgen": {"ns_per_op": ${TASKGEN_NS:-null}, "allocs_per_op": ${TASKGEN_ALLOCS:-null}},
+    "sweep_throughput_sets_per_sec": ${SETS_PER_SEC:-null}
+  },
+  "fig1_speedup": ${SPEEDUP:-null},
+  "criteria": {
+    "fig1_speedup_min": 3.0,
+    "partition_catpa_allocs_max": 0
+  }
+}
+EOF
+
+echo "== wrote $OUT (Fig1 speedup ${SPEEDUP}x, CA-TPA allocs/op ${CATPA_ALLOCS:-?})" >&2

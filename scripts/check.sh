@@ -38,7 +38,13 @@ if [[ "$FUZZTIME" != "0s" && "$FUZZTIME" != "0" ]]; then
     step "fuzz (${FUZZTIME} per target)"
     go test ./internal/edfvd -run='^$' -fuzz='^FuzzTheorem1Feasible$' -fuzztime="$FUZZTIME"
     go test ./internal/edfvd -run='^$' -fuzz='^FuzzDualAgreement$' -fuzztime="$FUZZTIME"
+    go test ./internal/edfvd -run='^$' -fuzz='^FuzzProbedScreens$' -fuzztime="$FUZZTIME"
     go test ./internal/taskgen -run='^$' -fuzz='^FuzzGenerate$' -fuzztime="$FUZZTIME"
 fi
+
+# Non-gating: performance tracking for the partitioning fast path.
+# Regressions show up in BENCH_PR2.json but do not fail the gate.
+step "bench (non-gating)"
+scripts/bench.sh || echo "bench: failed (non-gating)" >&2
 
 step "OK"
