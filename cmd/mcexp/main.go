@@ -8,103 +8,324 @@
 //	mcexp -figure 1                         # one figure at paper scale
 //	mcexp -figure all -plot                 # all figures with ASCII plots
 //	mcexp -figure 4 -csv -out results/      # CSV files per metric
+//	mcexp -figure 2 -checkpoint ckpt/       # journal progress, resumable
 //
 // The default population matches the paper's 50,000 task sets per
 // point; -sets trades accuracy for time (the ratios carry 95%
 // confidence intervals of about ±1.96*sqrt(p(1-p)/sets)).
+//
+// With -checkpoint, every completed sweep point is journaled to
+// <dir>/<figure>-seed<seed>-sets<sets>.ckpt and a rerun of the same
+// invocation resumes where it left off, byte-identical to an
+// uninterrupted run. The first SIGINT or SIGTERM drains the in-flight
+// point, flushes the checkpoint, prints the partial results and a
+// resume command; a second signal aborts immediately.
+//
+// Exit codes:
+//
+//	0  all requested figures completed
+//	1  usage error (bad flag or argument)
+//	2  completed, but one or more task sets were quarantined after a
+//	   panic (each is reported on stderr with its reproduction triple)
+//	3  fatal error, or interrupted before completion
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"catpa"
 	"catpa/internal/experiments"
+	"catpa/internal/runner"
+)
+
+const (
+	exitOK         = 0
+	exitUsage      = 1
+	exitQuarantine = 2
+	exitFatal      = 3
 )
 
 func main() {
-	var (
-		figure  = flag.String("figure", "all", "figure number 1..5 or 'all'")
-		sets    = flag.Int("sets", 50000, "task sets per data point")
-		seed    = flag.Int64("seed", 2016, "base seed")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		plot    = flag.Bool("plot", false, "render ASCII plots in addition to tables")
-		csv     = flag.Bool("csv", false, "emit CSV instead of tables")
-		out     = flag.String("out", "", "directory for CSV output (default stdout)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, installSignalHandler))
+}
 
-	var figs []int
+// config is the validated result of flag parsing.
+type config struct {
+	figures    []int
+	sets       int
+	seed       int64
+	workers    int
+	plot       bool
+	csv        bool
+	out        string
+	checkpoint string
+	// notes are advisory messages surfaced on stderr before the run
+	// (e.g. -csv without -out goes to stdout).
+	notes []string
+}
+
+// usageError is a structured flag-validation failure: which flag, what
+// value it had, and what would be accepted.
+type usageError struct {
+	flag   string
+	value  string
+	detail string
+}
+
+func (e *usageError) Error() string {
+	return fmt.Sprintf("invalid %s %s: %s", e.flag, e.value, e.detail)
+}
+
+// parseFlags validates the command line up front, before any work
+// starts, so a typo in a long overnight invocation fails in
+// milliseconds rather than after the first figure.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("mcexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		figure     = fs.String("figure", "all", "figure number 1..5 or 'all'")
+		sets       = fs.Int("sets", 50000, "task sets per data point")
+		seed       = fs.Int64("seed", 2016, "base seed")
+		workers    = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		plot       = fs.Bool("plot", false, "render ASCII plots in addition to tables")
+		csv        = fs.Bool("csv", false, "emit CSV instead of tables")
+		out        = fs.String("out", "", "directory for CSV output (default stdout)")
+		checkpoint = fs.String("checkpoint", "", "directory for resumable per-figure checkpoint journals")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, &usageError{"argument", strconv.Quote(fs.Arg(0)), "mcexp takes flags only"}
+	}
+	cfg := &config{
+		sets:       *sets,
+		seed:       *seed,
+		workers:    *workers,
+		plot:       *plot,
+		csv:        *csv,
+		out:        *out,
+		checkpoint: *checkpoint,
+	}
 	if *figure == "all" {
-		figs = experiments.Figures
+		cfg.figures = experiments.Figures
 	} else {
-		var n int
-		if _, err := fmt.Sscanf(*figure, "%d", &n); err != nil || n < 1 || n > 5 {
-			fatal(fmt.Errorf("invalid -figure %q", *figure))
+		n, err := strconv.Atoi(*figure)
+		if err != nil || n < 1 || n > 5 {
+			return nil, &usageError{"-figure", strconv.Quote(*figure), "want a figure number 1..5 or 'all'"}
 		}
-		figs = []int{n}
+		cfg.figures = []int{n}
+	}
+	if cfg.sets < 1 {
+		return nil, &usageError{"-sets", strconv.Itoa(cfg.sets), "need at least 1 task set per data point"}
+	}
+	if cfg.workers < 0 {
+		return nil, &usageError{"-workers", strconv.Itoa(cfg.workers), "want 0 (use GOMAXPROCS) or a positive worker count"}
+	}
+	if cfg.csv && cfg.out == "" {
+		cfg.notes = append(cfg.notes, "-csv without -out: writing CSV to stdout")
+	}
+	if cfg.out != "" && !cfg.csv {
+		cfg.notes = append(cfg.notes, "-out has no effect without -csv; printing tables to stdout")
+	}
+	return cfg, nil
+}
+
+// installSignalHandler wires SIGINT/SIGTERM to graceful cancellation:
+// the first signal cancels ctx (the runner drains the in-flight point
+// and flushes the checkpoint), a second aborts immediately with the
+// fatal exit code. Returns the derived context and a release function.
+func installSignalHandler(ctx context.Context, stderr io.Writer) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(stderr, "\nmcexp: %v: draining the in-flight point and flushing the checkpoint (signal again to abort now)\n", s)
+		cancel()
+		<-sigc
+		fmt.Fprintln(stderr, "mcexp: aborted")
+		os.Exit(exitFatal)
+	}()
+	return ctx, func() { signal.Stop(sigc); cancel() }
+}
+
+// run is the testable entry point; it returns the process exit code.
+// signals is nil in tests (no handler) and installSignalHandler in
+// production.
+func run(args []string, stdout, stderr io.Writer, signals func(context.Context, io.Writer) (context.Context, func())) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		fmt.Fprintln(stderr, "mcexp:", err)
+		return exitUsage
+	}
+	for _, note := range cfg.notes {
+		fmt.Fprintln(stderr, "mcexp: note:", note)
 	}
 
-	for _, n := range figs {
-		sw := catpa.Figure(n, *sets, *seed)
-		sw.Workers = *workers
-		start := time.Now()
-		res := sw.Run()
-		fmt.Fprintf(os.Stderr, "%s: %d sets/point x %d points x 5 schemes in %v\n",
-			sw.Name, *sets, len(sw.Values), time.Since(start).Round(time.Millisecond))
-		for _, ch := range res.Charts() {
-			switch {
-			case *csv && *out != "":
-				if err := os.MkdirAll(*out, 0o755); err != nil {
-					fatal(err)
-				}
-				name := filepath.Join(*out, fmt.Sprintf("%s-%s.csv", sw.Name, slug(ch.Title)))
-				if err := os.WriteFile(name, []byte(ch.CSV()), 0o644); err != nil {
-					fatal(err)
-				}
-				fmt.Fprintf(os.Stderr, "wrote %s\n", name)
-			case *csv:
-				fmt.Print(ch.CSV())
-				fmt.Println()
-			default:
-				fmt.Print(ch.Table())
-				if *plot {
-					fmt.Print(ch.Plot(14))
-				}
-				fmt.Println()
+	ctx := context.Background()
+	if signals != nil {
+		var release func()
+		ctx, release = signals(ctx, stderr)
+		defer release()
+	}
+
+	quarantined := 0
+	for _, n := range cfg.figures {
+		sw := catpa.Figure(n, cfg.sets, cfg.seed)
+		sw.Workers = cfg.workers
+
+		opts := &runner.Options{}
+		if cfg.checkpoint != "" {
+			if err := os.MkdirAll(cfg.checkpoint, 0o755); err != nil {
+				fmt.Fprintln(stderr, "mcexp:", err)
+				return exitFatal
 			}
+			opts.CheckpointPath = checkpointFile(cfg.checkpoint, sw.Name, cfg.seed, cfg.sets)
 		}
+
+		start := time.Now()
+		rep, err := runner.Run(ctx, sw, opts)
+		if rep == nil {
+			fmt.Fprintln(stderr, "mcexp:", err)
+			return exitFatal
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		reportQuarantines(stderr, n, cfg, rep.Quarantined)
+		quarantined += len(rep.Quarantined)
+
+		if err != nil {
+			done := len(rep.Completed())
+			if rep.Interrupted {
+				fmt.Fprintf(stderr, "mcexp: %s: interrupted after %d/%d points (%v); completed points follow\n",
+					sw.Name, done, len(sw.Values), elapsed)
+			} else {
+				fmt.Fprintf(stderr, "mcexp: %s: %v after %d/%d points; completed points follow\n",
+					sw.Name, err, done, len(sw.Values))
+			}
+			if done > 0 {
+				if err := emit(cfg, sw.Name, rep.PartialResult(), stdout, stderr); err != nil {
+					fmt.Fprintln(stderr, "mcexp:", err)
+				}
+			}
+			fmt.Fprintln(stderr, "mcexp:", resumeHint(cfg, n))
+			return exitFatal
+		}
+
+		fmt.Fprintf(stderr, "%s: %d sets/point x %d points x 5 schemes in %v%s\n",
+			sw.Name, cfg.sets, len(sw.Values), elapsed, resumedNote(rep.Resumed))
+		if err := emit(cfg, sw.Name, rep.Result, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, "mcexp:", err)
+			return exitFatal
+		}
+	}
+	if quarantined > 0 {
+		fmt.Fprintf(stderr, "mcexp: %d task set(s) quarantined; results count them as unschedulable for every scheme\n", quarantined)
+		return exitQuarantine
+	}
+	return exitOK
+}
+
+// emit renders one figure's charts: CSV files (atomic write), CSV to
+// stdout, or tables with optional ASCII plots.
+func emit(cfg *config, name string, res *experiments.Result, stdout, stderr io.Writer) error {
+	for _, ch := range res.Charts() {
+		switch {
+		case cfg.csv && cfg.out != "":
+			if err := os.MkdirAll(cfg.out, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(cfg.out, fmt.Sprintf("%s-%s.csv", name, slug(ch.Title)))
+			if err := runner.WriteFileAtomic(path, []byte(ch.CSV()), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "wrote %s\n", path)
+		case cfg.csv:
+			fmt.Fprint(stdout, ch.CSV())
+			fmt.Fprintln(stdout)
+		default:
+			fmt.Fprint(stdout, ch.Table())
+			if cfg.plot {
+				fmt.Fprint(stdout, ch.Plot(14))
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	return nil
+}
+
+// checkpointFile names the journal for one (figure, seed, sets) run.
+// Seed and sets are part of the name so changing either starts a fresh
+// journal instead of hitting the identity check.
+func checkpointFile(dir, name string, seed int64, sets int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-seed%d-sets%d.ckpt", name, seed, sets))
+}
+
+// resumeHint reconstructs the command line that resumes an interrupted
+// run from its checkpoint.
+func resumeHint(cfg *config, figure int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "resume with: mcexp -figure %d -sets %d -seed %d", figure, cfg.sets, cfg.seed)
+	if cfg.workers != 0 {
+		fmt.Fprintf(&b, " -workers %d", cfg.workers)
+	}
+	if cfg.checkpoint != "" {
+		fmt.Fprintf(&b, " -checkpoint %s", cfg.checkpoint)
+	} else {
+		b.WriteString(" -checkpoint <dir>   (add -checkpoint to make the next run resumable)")
+	}
+	if cfg.csv {
+		b.WriteString(" -csv")
+	}
+	if cfg.out != "" {
+		fmt.Fprintf(&b, " -out %s", cfg.out)
+	}
+	return b.String()
+}
+
+// resumedNote annotates the timing line when points were loaded from a
+// checkpoint instead of recomputed.
+func resumedNote(resumed []int) string {
+	if len(resumed) == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (%d point(s) resumed from checkpoint)", len(resumed))
+}
+
+// reportQuarantines prints each quarantined task set with the exact
+// triple that reproduces it.
+func reportQuarantines(stderr io.Writer, figure int, cfg *config, qs []experiments.Quarantine) {
+	for _, q := range qs {
+		fmt.Fprintf(stderr, "mcexp: quarantined task set (%s); reproduce with: mcexp -figure %d -sets %d -seed %d\n",
+			q, figure, cfg.sets, cfg.seed)
 	}
 }
 
 // slug extracts a short file-name fragment from a chart title.
 func slug(title string) string {
 	switch {
-	case contains(title, "(a)"):
+	case strings.Contains(title, "(a)"):
 		return "a-sched-ratio"
-	case contains(title, "(b)"):
+	case strings.Contains(title, "(b)"):
 		return "b-usys"
-	case contains(title, "(c)"):
+	case strings.Contains(title, "(c)"):
 		return "c-uavg"
-	case contains(title, "(d)"):
+	case strings.Contains(title, "(d)"):
 		return "d-imbalance"
 	}
 	return "metric"
-}
-
-func contains(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mcexp:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the usage error
+	}{
+		{"sets zero", []string{"-sets", "0"}, "invalid -sets 0"},
+		{"sets negative", []string{"-sets", "-7"}, "invalid -sets -7"},
+		{"workers negative", []string{"-workers", "-1"}, "invalid -workers -1"},
+		{"figure out of range", []string{"-figure", "6"}, `invalid -figure "6"`},
+		{"figure garbage", []string{"-figure", "one"}, `invalid -figure "one"`},
+		{"stray argument", []string{"extra"}, `invalid argument "extra"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args, io.Discard)
+			if err == nil {
+				t.Fatalf("parseFlags(%v): no error", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("parseFlags(%v) = %q, want substring %q", tc.args, err, tc.want)
+			}
+			var ue *usageError
+			if !errors.As(err, &ue) {
+				t.Errorf("parseFlags(%v) returned %T, want *usageError", tc.args, err)
+			}
+		})
+	}
+}
+
+func TestParseFlagsNotes(t *testing.T) {
+	cfg, err := parseFlags([]string{"-csv", "-sets", "2"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.notes) != 1 || !strings.Contains(cfg.notes[0], "stdout") {
+		t.Errorf("-csv without -out: notes = %v, want a stdout note", cfg.notes)
+	}
+
+	cfg, err = parseFlags([]string{"-out", "x"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.notes) != 1 || !strings.Contains(cfg.notes[0], "-csv") {
+		t.Errorf("-out without -csv: notes = %v, want an advisory note", cfg.notes)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-sets", "0"}, &out, &errb, nil); code != exitUsage {
+		t.Errorf("usage error: exit %d, want %d (stderr: %s)", code, exitUsage, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-figure", "1", "-sets", "2", "-csv"}, &out, &errb, nil); code != exitOK {
+		t.Fatalf("small run: exit %d, want %d (stderr: %s)", code, exitOK, errb.String())
+	}
+	if !strings.Contains(out.String(), "NSU,") {
+		t.Errorf("small -csv run produced no CSV header on stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "-csv without -out") {
+		t.Errorf("stdout note missing from stderr:\n%s", errb.String())
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	if code := run([]string{"-h"}, io.Discard, io.Discard, nil); code != exitOK {
+		t.Errorf("-h: exit %d, want %d", code, exitOK)
+	}
+}
+
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	outDir := filepath.Join(dir, "csv")
+	args := []string{"-figure", "1", "-sets", "2", "-csv", "-out", outDir, "-checkpoint", ckptDir}
+
+	var errb strings.Builder
+	if code := run(args, io.Discard, &errb, nil); code != exitOK {
+		t.Fatalf("first run: exit %d (stderr: %s)", code, errb.String())
+	}
+	ckpt := checkpointFile(ckptDir, "fig1", 2016, 2)
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint journal missing: %v", err)
+	}
+	first, err := os.ReadFile(filepath.Join(outDir, "fig1-a-sched-ratio.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errb.Reset()
+	if code := run(args, io.Discard, &errb, nil); code != exitOK {
+		t.Fatalf("resumed run: exit %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "resumed from checkpoint") {
+		t.Errorf("second run did not resume:\n%s", errb.String())
+	}
+	second, err := os.ReadFile(filepath.Join(outDir, "fig1-a-sched-ratio.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("resumed CSV differs from the original run")
+	}
+}
+
+func TestRunInterruptedPrintsResumeCommand(t *testing.T) {
+	// A signal handler whose context is already cancelled models an
+	// operator interrupting before the first point completes.
+	cancelled := func(ctx context.Context, _ io.Writer) (context.Context, func()) {
+		ctx, cancel := context.WithCancel(ctx)
+		cancel()
+		return ctx, func() {}
+	}
+	ckptDir := t.TempDir()
+	var out, errb strings.Builder
+	args := []string{"-figure", "2", "-sets", "2", "-checkpoint", ckptDir}
+	if code := run(args, &out, &errb, cancelled); code != exitFatal {
+		t.Fatalf("interrupted run: exit %d, want %d", code, exitFatal)
+	}
+	msg := errb.String()
+	if !strings.Contains(msg, "interrupted") {
+		t.Errorf("stderr does not mention the interruption:\n%s", msg)
+	}
+	want := "resume with: mcexp -figure 2 -sets 2 -seed 2016 -checkpoint " + ckptDir
+	if !strings.Contains(msg, want) {
+		t.Errorf("stderr lacks resume command %q:\n%s", want, msg)
+	}
+}

@@ -17,8 +17,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"catpa/internal/partition"
@@ -108,15 +110,69 @@ type Point struct {
 	Cells []Cell
 }
 
-// Result is a finished sweep.
+// Result is a finished sweep. Points whose evaluation was skipped (via
+// RunConfig.Skip) or not reached before cancellation carry a nil Cells
+// slice; the fault-tolerant runner fills skipped points from its
+// checkpoint before the result is consumed.
 type Result struct {
 	Sweep  *Sweep
 	Points []Point
+	// Quarantined lists every task set whose evaluation panicked,
+	// ordered by (point, set index). Each quarantined set is counted
+	// as unschedulable for every scheme, so totals stay exact.
+	Quarantined []Quarantine
+}
+
+// SetHook observes the start of every task-set evaluation. It runs in
+// the worker goroutine immediately before the (point, set) pair is
+// generated and partitioned, and it may panic or stall: the harness
+// must quarantine the former and tolerate the latter without altering
+// any count. Production runs pass a nil hook; the only implementation
+// lives in internal/runner/faultinject.
+type SetHook interface {
+	BeforeSet(point, set int)
+}
+
+// Quarantine is the reproduction handle of one task set whose
+// evaluation panicked: regenerating GenerateIndexed(cfg, Seed, Set) at
+// the point's parameters replays the exact input. The set is counted
+// as unschedulable for every scheme in its point's cells.
+type Quarantine struct {
+	// Point is the index into Sweep.Values; X its parameter value.
+	Point int     `json:"point"`
+	X     float64 `json:"x"`
+	// Set is the task-set index within the point.
+	Set int `json:"set"`
+	// Seed is the sweep seed the set was generated from.
+	Seed int64 `json:"seed"`
+	// Err is the recovered panic value, rendered as text.
+	Err string `json:"err"`
+}
+
+// String renders the reproduction triple and the panic message.
+func (q Quarantine) String() string {
+	return fmt.Sprintf("seed=%d point=%d set=%d: %s", q.Seed, q.Point, q.Set, q.Err)
+}
+
+// RunConfig tunes RunContext beyond the sweep definition itself. The
+// zero value (or a nil *RunConfig) reproduces Run's behaviour.
+type RunConfig struct {
+	// Skip reports whether the point at the given index is already
+	// complete and must not be recomputed (checkpoint resume). Skipped
+	// points keep a nil Cells slice in the result.
+	Skip func(point int) bool
+	// OnPoint runs after each point completes, in sweep order, with
+	// the point's results and its quarantined sets. The callback runs
+	// on the sweep goroutine: the checkpoint journal is flushed before
+	// the next point starts.
+	OnPoint func(point int, p *Point, quarantined []Quarantine)
+	// Hook is the fault-injection surface; nil in production.
+	Hook SetHook
 }
 
 // job is one stripe of one sweep point: the worker evaluates every
 // set index congruent to first modulo stride and accumulates into its
-// private row, then signals done.
+// private row (and quarantine list), then signals done.
 type job struct {
 	cfg     *taskgen.Config
 	seed    int64
@@ -126,7 +182,11 @@ type job struct {
 	sets    int
 	first   int
 	stride  int
+	point   int
+	x       float64
+	hook    SetHook
 	row     []Cell
+	quar    *[]Quarantine
 	done    *sync.WaitGroup
 }
 
@@ -164,24 +224,78 @@ func (p *pool) worker() {
 			part.Reset(jb.m, jb.k)
 		}
 		for set := jb.first; set < jb.sets; set += jb.stride {
-			ts := gen.Generate(jb.cfg, jb.seed, set)
-			evals = part.EvaluateAll(ts, jb.schemes, jb.opts, evals[:0])
-			for si := range jb.schemes {
-				ev, cell := &evals[si], &jb.row[si]
-				cell.Sched.Add(ev.Feasible)
-				if ev.Feasible {
-					cell.Usys.Add(ev.Usys)
-					cell.Uavg.Add(ev.Uavg)
-					cell.Imb.Add(ev.Imbalance)
-				}
+			q := runSet(gen, part, &evals, &jb, set)
+			if q == nil {
+				continue
 			}
+			// Panic quarantine: the set counts as unschedulable for
+			// every scheme, so per-scheme totals stay exact, and the
+			// reproduction triple is recorded. The generator and
+			// partitioner may have been abandoned mid-update, so the
+			// worker re-arms with fresh scratch state before the next
+			// set.
+			*jb.quar = append(*jb.quar, *q)
+			for si := range jb.schemes {
+				jb.row[si].Sched.Add(false)
+			}
+			gen = taskgen.NewGenerator()
+			part = partition.New(jb.m, jb.k)
+			evals = nil
 		}
 		jb.done.Done()
 	}
 }
 
-// Run executes the sweep.
+// runSet evaluates one (point, set) pair, converting a panic — from
+// the fault-injection hook, the generator or the partitioning analysis
+// — into a Quarantine instead of taking down the process. Accumulation
+// into the row happens only after EvaluateAll returns, so a quarantined
+// set contributes nothing but its Sched.Add(false) markers.
+func runSet(gen *taskgen.Generator, part *partition.Partitioner, evals *[]partition.Eval, jb *job, set int) (q *Quarantine) {
+	defer func() {
+		if r := recover(); r != nil {
+			q = &Quarantine{Point: jb.point, X: jb.x, Set: set, Seed: jb.seed, Err: fmt.Sprint(r)}
+		}
+	}()
+	if jb.hook != nil {
+		jb.hook.BeforeSet(jb.point, set)
+	}
+	ts := gen.Generate(jb.cfg, jb.seed, set)
+	*evals = part.EvaluateAll(ts, jb.schemes, jb.opts, (*evals)[:0])
+	for si := range jb.schemes {
+		ev, cell := &(*evals)[si], &jb.row[si]
+		cell.Sched.Add(ev.Feasible)
+		if ev.Feasible {
+			cell.Usys.Add(ev.Usys)
+			cell.Uavg.Add(ev.Uavg)
+			cell.Imb.Add(ev.Imbalance)
+		}
+	}
+	return nil
+}
+
+// Run executes the sweep to completion. It is RunContext with a
+// background context and default configuration.
 func (s *Sweep) Run() *Result {
+	res, err := s.RunContext(context.Background(), nil)
+	if err != nil {
+		// Unreachable: a background context never cancels and no other
+		// error path exists.
+		panic(fmt.Sprintf("experiments: Run: %v", err))
+	}
+	return res
+}
+
+// RunContext executes the sweep under a context, point by point.
+// Cancellation is honoured at point boundaries: the in-flight point
+// drains (its workers finish their stripes, keeping its counts exact),
+// OnPoint fires for it, and the remaining points are left with nil
+// Cells; the partial result is returned together with ctx.Err(). A nil
+// cfg selects the defaults (no skipping, no callbacks, no hook).
+func (s *Sweep) RunContext(ctx context.Context, cfg *RunConfig) (*Result, error) {
+	if cfg == nil {
+		cfg = &RunConfig{}
+	}
 	schemes := s.Schemes
 	if len(schemes) == 0 {
 		schemes = partition.Schemes
@@ -194,9 +308,21 @@ func (s *Sweep) Run() *Result {
 	defer pl.close()
 	res := &Result{Sweep: s, Points: make([]Point, len(s.Values))}
 	for pi, x := range s.Values {
-		res.Points[pi] = s.runPoint(pl, x, schemes, workers)
+		res.Points[pi] = Point{X: x}
+		if cfg.Skip != nil && cfg.Skip(pi) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		var quar []Quarantine
+		res.Points[pi], quar = s.runPoint(pl, pi, x, schemes, workers, cfg.Hook)
+		res.Quarantined = append(res.Quarantined, quar...)
+		if cfg.OnPoint != nil {
+			cfg.OnPoint(pi, &res.Points[pi], quar)
+		}
 	}
-	return res
+	return res, nil
 }
 
 // runPoint evaluates one X value: Sets task sets, each partitioned by
@@ -204,7 +330,7 @@ func (s *Sweep) Run() *Result {
 // independent of the worker count; the mean metrics use compensated
 // accumulation, so they agree across worker counts to ~1e-9 even
 // though the per-stripe summation order differs.
-func (s *Sweep) runPoint(pl *pool, x float64, schemes []partition.Scheme, workers int) Point {
+func (s *Sweep) runPoint(pl *pool, pi int, x float64, schemes []partition.Scheme, workers int, hook SetHook) (Point, []Quarantine) {
 	params := DefaultParams()
 	if s.Apply != nil {
 		s.Apply(&params, x)
@@ -217,9 +343,11 @@ func (s *Sweep) runPoint(pl *pool, x float64, schemes []partition.Scheme, worker
 	pointSeed := s.Seed
 	opts := partition.Options{Alpha: params.Alpha}
 
-	// Each worker accumulates a private cell row over its stripe of
-	// set indices, then rows are merged in stripe order.
+	// Each worker accumulates a private cell row (and quarantine list)
+	// over its stripe of set indices, then rows are merged in stripe
+	// order.
 	rows := make([][]Cell, workers)
+	quars := make([][]Quarantine, workers)
 	var done sync.WaitGroup
 	done.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -234,19 +362,28 @@ func (s *Sweep) runPoint(pl *pool, x float64, schemes []partition.Scheme, worker
 			sets:    s.Sets,
 			first:   w,
 			stride:  workers,
+			point:   pi,
+			x:       x,
+			hook:    hook,
 			row:     rows[w],
+			quar:    &quars[w],
 			done:    &done,
 		}
 	}
 	done.Wait()
 
 	p := Point{X: x, Cells: make([]Cell, len(schemes))}
+	var quar []Quarantine
 	for w := 0; w < workers; w++ {
 		for si := range schemes {
 			p.Cells[si].merge(&rows[w][si])
 		}
+		quar = append(quar, quars[w]...)
 	}
-	return p
+	// Stripe membership depends on the worker count; sorting by set
+	// index makes the quarantine report deterministic regardless.
+	sort.Slice(quar, func(i, j int) bool { return quar[i].Set < quar[j].Set })
+	return p, quar
 }
 
 // Metric identifies one of the four sub-figures.

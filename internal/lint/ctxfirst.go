@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst requires exported functions and methods of the listed
+// packages that accept a context.Context to take it as the first
+// parameter. The fault-tolerant runner threads cancellation through
+// every layer (runner -> sweep -> worker pool), and the Go convention
+// of ctx-first is what makes that plumbing auditable: a context buried
+// in the middle of a signature is easy to drop on the floor when a
+// call site is refactored.
+type CtxFirst struct {
+	// Packages lists the import paths the rule applies to.
+	Packages []string
+}
+
+// Name implements Rule.
+func (*CtxFirst) Name() string { return "ctxfirst" }
+
+// Doc implements Rule.
+func (*CtxFirst) Doc() string {
+	return "exported functions in runner/experiments taking a context.Context must take it first"
+}
+
+// Check implements Rule.
+func (r *CtxFirst) Check(pkg *Package, report Reporter) {
+	enforced := false
+	for _, p := range r.Packages {
+		if pkg.ImportPath == p {
+			enforced = true
+			break
+		}
+	}
+	if !enforced {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			// Walk the flattened parameter list: a field like
+			// "a, b context.Context" declares two parameters, so track
+			// the position of every declared name (or anonymous slot).
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				n := len(field.Names)
+				if n == 0 {
+					n = 1
+				}
+				if isContextType(pkg.Info.TypeOf(field.Type)) && idx > 0 {
+					report(field, "exported %s takes context.Context as parameter %d; the context must be the first parameter", fd.Name.Name, idx+1)
+				}
+				idx += n
+			}
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

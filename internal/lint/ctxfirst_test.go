@@ -1,0 +1,70 @@
+package lint
+
+import "testing"
+
+func TestCtxFirstFlagsMisplacedContext(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+type Sweep struct{}
+
+func RunContext(ctx context.Context, n int) error { return ctx.Err() }
+
+func Bad(n int, ctx context.Context) error { return ctx.Err() }
+
+func BadTail(a, b string, ctx context.Context, n int) error { return ctx.Err() }
+
+func (s *Sweep) Run(ctx context.Context) error { return ctx.Err() }
+
+func (s *Sweep) BadMethod(n int, ctx context.Context) error { return ctx.Err() }
+
+func unexported(n int, ctx context.Context) error { return ctx.Err() }
+
+func NoContext(a, b int) int { return a + b }
+`
+	rule := &CtxFirst{Packages: []string{"catpa/internal/runner"}}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/runner", "fix.go", src)
+	wantLines(t, findings, "ctxfirst", 9, 11, 15)
+}
+
+func TestCtxFirstGroupedParams(t *testing.T) {
+	// "a, b context.Context" declares two context parameters in one
+	// field; only a context at flat index 0 is conforming.
+	src := `package fix
+
+import "context"
+
+func GroupedFirst(ctx, ctx2 context.Context, n int) error { return ctx.Err() }
+
+func GroupedLate(n, m int, ctx context.Context) error { return ctx.Err() }
+`
+	rule := &CtxFirst{Packages: []string{"catpa/internal/runner"}}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/runner", "fix.go", src)
+	wantLines(t, findings, "ctxfirst", 7)
+}
+
+func TestCtxFirstScopedToListedPackages(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func Elsewhere(n int, ctx context.Context) error { return ctx.Err() }
+`
+	rule := &CtxFirst{Packages: []string{"catpa/internal/runner"}}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/sim", "fix.go", src)
+	wantLines(t, findings, "ctxfirst")
+}
+
+func TestCtxFirstSuppressible(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+//lint:ignore mclint/ctxfirst callback signature fixed by the stdlib interface it satisfies
+func Pinned(n int, ctx context.Context) error { return ctx.Err() }
+`
+	rule := &CtxFirst{Packages: []string{"catpa/internal/runner"}}
+	findings := checkFixture(t, []Rule{rule}, "catpa/internal/runner", "fix.go", src)
+	wantLines(t, findings, "ctxfirst")
+}

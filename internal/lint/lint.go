@@ -20,6 +20,10 @@
 //	             functions) in internal/edfvd and internal/partition
 //	             must cite the paper equation, theorem or algorithm
 //	             they implement in their doc comment.
+//	ctxfirst   – exported functions in internal/runner and
+//	             internal/experiments that accept a context.Context
+//	             must take it as the first parameter, so cancellation
+//	             plumbing stays auditable.
 //
 // A finding can be suppressed by the line above it (or a trailing
 // comment on the same line):
@@ -81,6 +85,10 @@ func DefaultRules(modulePath string) []Rule {
 		&FeasDoc{Packages: []string{
 			modulePath + "/internal/edfvd",
 			modulePath + "/internal/partition",
+		}},
+		&CtxFirst{Packages: []string{
+			modulePath + "/internal/runner",
+			modulePath + "/internal/experiments",
 		}},
 	}
 }

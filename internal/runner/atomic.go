@@ -1,0 +1,76 @@
+package runner
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that a crash at any instant
+// leaves either the previous file intact or the new one complete,
+// never a truncated hybrid: the bytes go to a unique temp file in the
+// same directory, the file is fsynced and closed, and only then
+// renamed over path (rename within one directory is atomic on POSIX
+// filesystems). The containing directory is fsynced afterwards on a
+// best-effort basis so the rename itself survives power loss.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return writeFileAtomic(path, data, perm, nil)
+}
+
+// crashFn is the test seam of writeFileAtomic: when non-nil it runs
+// before the rename with the temp path, and a returned error aborts
+// the write as if the process had died mid-flush. Production callers
+// pass nil.
+type crashFn func(tmpPath string) error
+
+func writeFileAtomic(path string, data []byte, perm os.FileMode, crash crashFn) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if crash != nil {
+		if err := crash(tmp); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return cleanup(err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory, ignoring filesystems that do not support
+// it (the rename is still atomic there; only power-loss durability is
+// weakened).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return
+	}
+}

@@ -1,0 +1,229 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strings"
+
+	"catpa/internal/experiments"
+)
+
+// checkpointVersion is bumped whenever the journal format changes
+// incompatibly; a mismatch refuses to resume rather than guessing.
+const checkpointVersion = 1
+
+// checkpointKind tags the first journal line so an unrelated JSONL
+// file is never mistaken for a checkpoint.
+const checkpointKind = "catpa-sweep-checkpoint"
+
+// header is the first journal line: the run identity. A resume is only
+// legal when every field matches — the worker count is included
+// because the mean metrics are bit-exact only for a fixed striping, so
+// mixing points computed under different worker counts would break the
+// byte-identical-resume invariant.
+type header struct {
+	Version int       `json:"version"`
+	Kind    string    `json:"kind"`
+	Name    string    `json:"name"`
+	Seed    int64     `json:"seed"`
+	Sets    int       `json:"sets"`
+	Workers int       `json:"workers"`
+	Schemes []string  `json:"schemes"`
+	Values  []float64 `json:"values"`
+}
+
+// pointRecord is one completed sweep point: the merged cells (with the
+// stats accumulators' full internal state, so resumed output is
+// bit-identical) and the point's quarantined sets.
+type pointRecord struct {
+	Point       int                      `json:"point"`
+	X           float64                  `json:"x"`
+	Cells       []experiments.Cell       `json:"cells"`
+	Quarantined []experiments.Quarantine `json:"quarantined,omitempty"`
+}
+
+// envelope wraps every journal line with an IEEE CRC-32 of the raw
+// record bytes, so a torn or bit-rotted line is detected and dropped
+// instead of corrupting the resumed aggregates.
+type envelope struct {
+	CRC string          `json:"crc"`
+	D   json.RawMessage `json:"d"`
+}
+
+// encodeLine wraps one record in a checksummed envelope line.
+func encodeLine(d []byte) []byte {
+	return []byte(fmt.Sprintf("{\"crc\":\"%08x\",\"d\":%s}\n", crc32.ChecksumIEEE(d), d))
+}
+
+// decodeLine unwraps one envelope line, verifying the checksum.
+func decodeLine(line []byte) (json.RawMessage, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, err
+	}
+	if want := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.D)); env.CRC != want {
+		return nil, fmt.Errorf("runner: checksum mismatch (have %s, want %s)", env.CRC, want)
+	}
+	return env.D, nil
+}
+
+// Checkpoint is the journal of one sweep run. Records accumulate
+// append-only in memory and every flush rewrites the whole file via
+// WriteFileAtomic, so the on-disk journal is always either the
+// previous complete state or the new complete state.
+type Checkpoint struct {
+	path  string
+	write func(path string, data []byte) error
+	hdr   header
+	recs  map[int]*pointRecord
+	order []int
+
+	// DroppedLines counts journal lines discarded at load time because
+	// they were torn or failed their checksum; the corresponding points
+	// are simply recomputed.
+	DroppedLines int
+}
+
+// openCheckpoint loads the journal at path, validating it against the
+// run identity, or initializes an empty one when the file does not
+// exist (or contains no intact header). A journal whose header
+// identifies a different run is an error: silently mixing runs would
+// corrupt the aggregates.
+func openCheckpoint(path string, hdr header, write func(string, []byte) error) (*Checkpoint, error) {
+	if write == nil {
+		write = func(p string, data []byte) error { return WriteFileAtomic(p, data, 0o644) }
+	}
+	ck := &Checkpoint{path: path, write: write, hdr: hdr, recs: make(map[int]*pointRecord)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(data), "\n")
+	// Header line: if it is torn or unrecognizable the whole file is
+	// untrusted — start fresh (every point recomputes; correctness is
+	// unaffected). If it is intact but names a different run, refuse.
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) == "" {
+		return ck, nil
+	}
+	raw, err := decodeLine([]byte(lines[0]))
+	if err != nil {
+		ck.DroppedLines = countNonEmpty(lines)
+		return ck, nil
+	}
+	var have header
+	if err := json.Unmarshal(raw, &have); err != nil || have.Kind != checkpointKind {
+		ck.DroppedLines = countNonEmpty(lines)
+		return ck, nil
+	}
+	if err := hdr.checkCompatible(have); err != nil {
+		return nil, fmt.Errorf("runner: checkpoint %s: %w", path, err)
+	}
+	for _, line := range lines[1:] {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		rec, err := decodePoint([]byte(line), hdr)
+		if err != nil {
+			// A torn tail (the only way an atomic journal ends up
+			// with a broken line) invalidates everything after it:
+			// stop and recompute those points.
+			ck.DroppedLines += 1
+			break
+		}
+		if _, dup := ck.recs[rec.Point]; !dup {
+			ck.order = append(ck.order, rec.Point)
+		}
+		ck.recs[rec.Point] = rec
+	}
+	return ck, nil
+}
+
+// countNonEmpty counts the non-blank lines of a split file.
+func countNonEmpty(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// decodePoint unwraps and validates one point record line.
+func decodePoint(line []byte, hdr header) (*pointRecord, error) {
+	raw, err := decodeLine(line)
+	if err != nil {
+		return nil, err
+	}
+	var rec pointRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, err
+	}
+	if rec.Point < 0 || rec.Point >= len(hdr.Values) {
+		return nil, fmt.Errorf("runner: point index %d out of range", rec.Point)
+	}
+	if len(rec.Cells) != len(hdr.Schemes) {
+		return nil, fmt.Errorf("runner: point %d has %d cells, want %d", rec.Point, len(rec.Cells), len(hdr.Schemes))
+	}
+	return &rec, nil
+}
+
+// checkCompatible verifies that a loaded header matches this run.
+func (h header) checkCompatible(have header) error {
+	switch {
+	case have.Version != h.Version:
+		return fmt.Errorf("written by format version %d, this binary writes %d", have.Version, h.Version)
+	case have.Name != h.Name, have.Seed != h.Seed, have.Sets != h.Sets:
+		return fmt.Errorf("belongs to run (name=%s seed=%d sets=%d), this run is (name=%s seed=%d sets=%d); delete it or point -checkpoint elsewhere",
+			have.Name, have.Seed, have.Sets, h.Name, h.Seed, h.Sets)
+	case have.Workers != h.Workers:
+		return fmt.Errorf("was written with -workers %d, this run uses %d; resume with -workers %d (mean metrics are bit-exact only for a fixed worker count)",
+			have.Workers, h.Workers, have.Workers)
+	case fmt.Sprint(have.Schemes) != fmt.Sprint(h.Schemes):
+		return fmt.Errorf("scheme list %v does not match %v", have.Schemes, h.Schemes)
+	case fmt.Sprint(have.Values) != fmt.Sprint(h.Values):
+		return fmt.Errorf("sweep values %v do not match %v", have.Values, h.Values)
+	}
+	return nil
+}
+
+// done reports whether the journal holds an intact record for a point.
+func (c *Checkpoint) done(point int) (*pointRecord, bool) {
+	rec, ok := c.recs[point]
+	return rec, ok
+}
+
+// record journals one completed point and flushes the whole file
+// atomically. The in-memory record is kept even when the flush fails,
+// so a caller that degrades to checkpoint-less operation still reports
+// correct results.
+func (c *Checkpoint) record(rec *pointRecord) error {
+	if _, dup := c.recs[rec.Point]; !dup {
+		c.order = append(c.order, rec.Point)
+	}
+	c.recs[rec.Point] = rec
+	return c.flush()
+}
+
+// flush rewrites the journal file from the in-memory state.
+func (c *Checkpoint) flush() error {
+	var b strings.Builder
+	hdr, err := json.Marshal(c.hdr)
+	if err != nil {
+		return err
+	}
+	b.Write(encodeLine(hdr))
+	for _, pi := range c.order {
+		d, err := json.Marshal(c.recs[pi])
+		if err != nil {
+			return err
+		}
+		b.Write(encodeLine(d))
+	}
+	return c.write(c.path, []byte(b.String()))
+}

@@ -1,0 +1,28 @@
+// Package runner is the fault-tolerant execution layer between the
+// mcexp CLI and the experiment harness. It turns a long paper-scale
+// sweep (50,000 task sets per point, Figures 1-5) into a batch job
+// that survives the three failure classes a production evaluation
+// pipeline must isolate:
+//
+//   - process death (crash, kill, power loss): every completed sweep
+//     point is journaled to an append-only, checksummed JSONL
+//     checkpoint flushed via atomic temp-write+rename, and a restarted
+//     run with the same (figure, seed, sets) identity skips finished
+//     points and continues, byte-identical to an uninterrupted run;
+//
+//   - operator interruption (SIGINT/SIGTERM): cancellation is plumbed
+//     through context.Context and honoured at point boundaries — the
+//     in-flight point drains so its exact counts are preserved, the
+//     checkpoint is already flushed, and the caller can print partial
+//     results plus a resume command;
+//
+//   - data-dependent faults (a panic on one task set): the worker
+//     recovers, records the exact (seed, point, setIndex) reproduction
+//     triple in a quarantine report, and the sweep completes with that
+//     set counted as unschedulable for every scheme, so aggregate
+//     totals never silently change.
+//
+// The fault-injection harness in the faultinject subpackage drives all
+// three paths deterministically in tests; production runs never
+// construct a hook.
+package runner

@@ -1,0 +1,82 @@
+// Package faultinject is the deterministic fault-injection harness for
+// the fault-tolerant runner. It implements the experiments.SetHook
+// interface with scripted panics and stalls addressed by (point, set),
+// plus a torn-checkpoint writer that simulates a crash in the middle
+// of a journal flush. Nothing in this package is reachable from a
+// production code path: injection only happens when a test explicitly
+// wires a hook into runner.Options.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SetKey addresses one task-set evaluation within a sweep.
+type SetKey struct {
+	Point, Set int
+}
+
+// Faults is a scripted experiments.SetHook. Configure it with PanicAt
+// and StallAt before the run; the maps are read-only afterwards, so
+// concurrent workers need no locking on the script itself. Firing
+// counts are tracked under a mutex for test assertions.
+type Faults struct {
+	panics map[SetKey]string
+	stalls map[SetKey]time.Duration
+
+	mu    sync.Mutex
+	fired map[SetKey]int
+}
+
+// New returns an empty fault script.
+func New() *Faults {
+	return &Faults{
+		panics: make(map[SetKey]string),
+		stalls: make(map[SetKey]time.Duration),
+		fired:  make(map[SetKey]int),
+	}
+}
+
+// PanicAt schedules a panic with the given message when the worker
+// reaches (point, set). Returns the receiver for chaining.
+func (f *Faults) PanicAt(point, set int, msg string) *Faults {
+	f.panics[SetKey{point, set}] = msg
+	return f
+}
+
+// StallAt schedules an artificial worker stall of duration d at
+// (point, set). Returns the receiver for chaining.
+func (f *Faults) StallAt(point, set int, d time.Duration) *Faults {
+	f.stalls[SetKey{point, set}] = d
+	return f
+}
+
+// BeforeSet implements experiments.SetHook: it stalls and/or panics
+// according to the script. Deterministic by construction — the same
+// (point, set) always receives the same fault.
+func (f *Faults) BeforeSet(point, set int) {
+	k := SetKey{point, set}
+	if d, ok := f.stalls[k]; ok {
+		f.note(k)
+		time.Sleep(d)
+	}
+	if msg, ok := f.panics[k]; ok {
+		f.note(k)
+		panic(fmt.Sprintf("faultinject: %s", msg))
+	}
+}
+
+func (f *Faults) note(k SetKey) {
+	f.mu.Lock()
+	f.fired[k]++
+	f.mu.Unlock()
+}
+
+// Fired returns how many times the fault at (point, set) triggered.
+func (f *Faults) Fired(point, set int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired[SetKey{point, set}]
+}

@@ -1,0 +1,51 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrTorn is returned by a TornWriter on the scripted call: the
+// process is assumed dead at that instant, so the runner must abort
+// exactly as it would on a real crash.
+var ErrTorn = errors.New("faultinject: torn checkpoint write")
+
+// TornWriter returns a checkpoint write function (runner.Options.
+// WriteFile) that delegates to the real atomic writer until the
+// tornAt-th call (1-based). That call instead writes only the first
+// keep bytes of the payload straight to the destination path — no
+// temp file, no rename, no fsync — leaving a torn journal exactly as
+// a crash mid-write (or a non-atomic writer) would, and returns
+// ErrTorn. A negative keep counts from the end of the payload
+// (len(data)+keep), which tears the final journal line regardless of
+// the payload size. Calls after the torn one also fail: the simulated
+// process is dead.
+//
+// The returned function is for the runner's sequential per-point
+// flush path only; it is not safe for concurrent use.
+func TornWriter(atomic func(path string, data []byte) error, tornAt, keep int) func(path string, data []byte) error {
+	calls := 0
+	return func(path string, data []byte) error {
+		calls++
+		if calls < tornAt {
+			return atomic(path, data)
+		}
+		if calls > tornAt {
+			return ErrTorn
+		}
+		cut := keep
+		if cut < 0 {
+			cut += len(data)
+		}
+		if cut < 0 {
+			cut = 0
+		}
+		if cut > len(data) {
+			cut = len(data)
+		}
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			return err
+		}
+		return ErrTorn
+	}
+}

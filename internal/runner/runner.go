@@ -1,0 +1,209 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"catpa/internal/experiments"
+	"catpa/internal/partition"
+)
+
+// Options configures one fault-tolerant sweep execution. The zero
+// value (or a nil *Options) runs the sweep without a checkpoint and
+// without fault injection.
+type Options struct {
+	// CheckpointPath names the journal file for this run; empty
+	// disables checkpointing (the run is still cancellable and still
+	// quarantines panics).
+	CheckpointPath string
+	// Hook is the fault-injection surface threaded to the worker pool;
+	// nil in production. See internal/runner/faultinject.
+	Hook experiments.SetHook
+	// OnPoint observes every newly computed point after it has been
+	// journaled (progress reporting). Points resumed from the
+	// checkpoint are not re-announced.
+	OnPoint func(point int, p *experiments.Point)
+	// WriteFile overrides the atomic checkpoint writer. Tests inject
+	// torn writes here; production leaves it nil (WriteFileAtomic).
+	WriteFile func(path string, data []byte) error
+}
+
+// Report is the outcome of a fault-tolerant run. Result is always
+// non-nil once Run returns without a setup error, even when the run
+// was interrupted — completed points carry their exact aggregates.
+type Report struct {
+	// Result is the sweep result; points listed in Completed hold
+	// exact cells, all others have nil Cells.
+	Result *experiments.Result
+	// Quarantined lists every panicking task set of the whole run —
+	// including sets recorded in resumed points — ordered by
+	// (point, set).
+	Quarantined []experiments.Quarantine
+	// Resumed lists the point indices loaded from the checkpoint
+	// instead of recomputed.
+	Resumed []int
+	// Interrupted reports that the run stopped at a point boundary
+	// because the context was cancelled; the checkpoint (when
+	// configured) already holds every completed point.
+	Interrupted bool
+	// CheckpointPath echoes the journal location ("" when disabled).
+	CheckpointPath string
+	// DroppedLines counts torn or corrupt journal lines discarded
+	// while resuming; the affected points were recomputed.
+	DroppedLines int
+
+	completed map[int]bool
+}
+
+// Completed returns the sorted indices of points with exact results
+// (computed or resumed).
+func (r *Report) Completed() []int {
+	out := make([]int, 0, len(r.completed))
+	for pi := range r.completed {
+		out = append(out, pi)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Complete reports whether every point of the sweep finished.
+func (r *Report) Complete() bool {
+	return r.Result != nil && len(r.completed) == len(r.Result.Sweep.Values)
+}
+
+// PartialResult returns a result restricted to the completed points:
+// a shallow sweep copy whose Values (and Points) keep only completed
+// indices, so tables and charts render consistently mid-run. With
+// every point complete it is equivalent to Result.
+func (r *Report) PartialResult() *experiments.Result {
+	done := r.Completed()
+	sw := *r.Result.Sweep
+	sw.Values = make([]float64, 0, len(done))
+	res := &experiments.Result{Sweep: &sw, Quarantined: r.Result.Quarantined}
+	for _, pi := range done {
+		sw.Values = append(sw.Values, r.Result.Sweep.Values[pi])
+		res.Points = append(res.Points, r.Result.Points[pi])
+	}
+	return res
+}
+
+// Run executes the sweep under ctx with checkpoint/resume, graceful
+// cancellation and panic quarantine. It returns the report together
+// with the first fatal error: a context cancellation surfaces as
+// (report, ctx.Err()) with report.Interrupted set, and a failed
+// checkpoint flush aborts the run crash-like with the write error —
+// in both cases the report still carries every exact completed point.
+func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	schemes := sw.Schemes
+	if len(schemes) == 0 {
+		schemes = partition.Schemes
+	}
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rep := &Report{CheckpointPath: opts.CheckpointPath, completed: make(map[int]bool)}
+
+	var ck *Checkpoint
+	if opts.CheckpointPath != "" {
+		hdr := header{
+			Version: checkpointVersion,
+			Kind:    checkpointKind,
+			Name:    sw.Name,
+			Seed:    sw.Seed,
+			Sets:    sw.Sets,
+			Workers: workers,
+			Schemes: schemeNames(schemes),
+			Values:  sw.Values,
+		}
+		var err error
+		ck, err = openCheckpoint(opts.CheckpointPath, hdr, opts.WriteFile)
+		if err != nil {
+			return nil, err
+		}
+		rep.DroppedLines = ck.DroppedLines
+		for pi := range sw.Values {
+			if _, ok := ck.done(pi); ok {
+				rep.Resumed = append(rep.Resumed, pi)
+			}
+		}
+	}
+
+	// A checkpoint flush failure must stop the run the way a crash
+	// would — completed points stay journaled, nothing after the
+	// failure pretends to be durable.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var flushErr error
+
+	cfg := &experiments.RunConfig{
+		Hook: opts.Hook,
+		Skip: func(pi int) bool {
+			if ck == nil {
+				return false
+			}
+			_, ok := ck.done(pi)
+			return ok
+		},
+		OnPoint: func(pi int, p *experiments.Point, quar []experiments.Quarantine) {
+			if ck != nil && flushErr == nil {
+				rec := &pointRecord{Point: pi, X: p.X, Cells: p.Cells, Quarantined: quar}
+				if err := ck.record(rec); err != nil {
+					flushErr = err
+					cancel()
+					return
+				}
+			}
+			rep.completed[pi] = true
+			if opts.OnPoint != nil {
+				opts.OnPoint(pi, p)
+			}
+		},
+	}
+
+	res, runErr := sw.RunContext(runCtx, cfg)
+	rep.Result = res
+
+	// Splice resumed points (cells and quarantines) into the result.
+	for _, pi := range rep.Resumed {
+		rec, _ := ck.done(pi)
+		res.Points[pi] = experiments.Point{X: rec.X, Cells: rec.Cells}
+		rep.completed[pi] = true
+		res.Quarantined = append(res.Quarantined, rec.Quarantined...)
+	}
+	sort.Slice(res.Quarantined, func(i, j int) bool {
+		a, b := res.Quarantined[i], res.Quarantined[j]
+		if a.Point != b.Point {
+			return a.Point < b.Point
+		}
+		return a.Set < b.Set
+	})
+	rep.Quarantined = res.Quarantined
+
+	switch {
+	case flushErr != nil:
+		return rep, fmt.Errorf("runner: checkpoint flush failed: %w", flushErr)
+	case runErr != nil:
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			rep.Interrupted = true
+		}
+		return rep, runErr
+	}
+	return rep, nil
+}
+
+// schemeNames renders the scheme list for the checkpoint identity.
+func schemeNames(schemes []partition.Scheme) []string {
+	out := make([]string, len(schemes))
+	for i, s := range schemes {
+		out[i] = s.String()
+	}
+	return out
+}

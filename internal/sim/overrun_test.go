@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"catpa/internal/mc"
+)
+
+// TestWorstCaseOverrunAccounting drives hand-traced two-task instances
+// (Table-I-style: one HI task whose worst case overruns its LO budget,
+// one LO task) under WorstCaseModel and checks every counter of
+// CoreStats against the values computed by hand from the AMC rules:
+// exactly one mode switch per busy interval, releases of
+// below-mode tasks suppressed (SkippedReleases), in-flight LO jobs
+// discarded at the switch (DroppedJobs), and the idle reset back to
+// mode 1 at the end of every busy interval.
+func TestWorstCaseOverrunAccounting(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks []mc.Task
+
+		released, completed, missed int
+		dropped, skipped            int
+		switches, idleResets        int
+		maxMode                     int
+		busy                        float64
+		maxResponse                 []float64
+	}{
+		{
+			// tau1 = (P=100, HI, C={10,25}), tau2 = (P=50, LO, C={15}).
+			// Busy intervals [0,40], [100,140] each hold one overrun of
+			// tau1 (switch at executed=10); tau2's releases at 50 and
+			// 150 land in mode 1, so nothing is skipped or dropped.
+			name:  "overrun only",
+			tasks: []mc.Task{mkTask(1, 100, 2, 10, 25), mkTask(2, 50, 1, 15)},
+
+			released: 6, completed: 6, missed: 0,
+			dropped: 0, skipped: 0,
+			switches: 2, idleResets: 2,
+			maxMode:     2,
+			busy:        110,
+			maxResponse: []float64{40, 15},
+		},
+		{
+			// tau1 = (P=100, HI, C={10,40}), tau2 = (P=40, LO, C={12}).
+			// tau1's overruns keep the core in mode 2 across tau2's
+			// releases at t=40 and t=120: both are suppressed
+			// (SkippedReleases=2), no in-flight job is ever dropped.
+			name:  "suppressed releases",
+			tasks: []mc.Task{mkTask(1, 100, 2, 10, 40), mkTask(2, 40, 1, 12)},
+
+			released: 5, completed: 5, missed: 0,
+			dropped: 0, skipped: 2,
+			switches: 2, idleResets: 2,
+			maxMode:     2,
+			busy:        116,
+			maxResponse: []float64{52, 12},
+		},
+		{
+			// tau1 = (P=50, HI, C={5,15}), tau2 = (P=200, LO, C={20}).
+			// tau2's single job is in flight when tau1 overruns at t=5
+			// and is discarded (DroppedJobs=1); every one of tau1's four
+			// busy intervals raises the mode once and resets at idle.
+			name:  "dropped in-flight job",
+			tasks: []mc.Task{mkTask(1, 50, 2, 5, 15), mkTask(2, 200, 1, 20)},
+
+			released: 5, completed: 4, missed: 0,
+			dropped: 1, skipped: 0,
+			switches: 4, idleResets: 4,
+			maxMode:     2,
+			busy:        60,
+			maxResponse: []float64{15, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := SimulateCore(CoreConfig{
+				Tasks:   tc.tasks,
+				K:       2,
+				Horizon: 200,
+				Model:   WorstCaseModel{},
+			})
+			if !s.PlainEDF {
+				t.Fatal("instance was meant to pass the Eq. 4 plain-EDF test")
+			}
+			if s.Released != tc.released {
+				t.Errorf("Released = %d, want %d", s.Released, tc.released)
+			}
+			if s.Completed != tc.completed {
+				t.Errorf("Completed = %d, want %d", s.Completed, tc.completed)
+			}
+			if s.Missed != tc.missed || len(s.Misses) != tc.missed {
+				t.Errorf("Missed = %d (%d recorded), want %d", s.Missed, len(s.Misses), tc.missed)
+			}
+			if s.DroppedJobs != tc.dropped {
+				t.Errorf("DroppedJobs = %d, want %d", s.DroppedJobs, tc.dropped)
+			}
+			if s.SkippedReleases != tc.skipped {
+				t.Errorf("SkippedReleases = %d, want %d", s.SkippedReleases, tc.skipped)
+			}
+			if s.ModeSwitches != tc.switches {
+				t.Errorf("ModeSwitches = %d, want %d (one per busy interval)", s.ModeSwitches, tc.switches)
+			}
+			if s.IdleResets != tc.idleResets {
+				t.Errorf("IdleResets = %d, want %d", s.IdleResets, tc.idleResets)
+			}
+			if s.MaxMode != tc.maxMode {
+				t.Errorf("MaxMode = %d, want %d", s.MaxMode, tc.maxMode)
+			}
+			if math.Abs(s.BusyTime-tc.busy) > 1e-6 {
+				t.Errorf("BusyTime = %v, want %v", s.BusyTime, tc.busy)
+			}
+			for i, want := range tc.maxResponse {
+				if math.Abs(s.MaxResponse[i]-want) > 1e-6 {
+					t.Errorf("MaxResponse[%d] = %v, want %v", i, s.MaxResponse[i], want)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -103,6 +104,35 @@ func (a *Mean) String() string {
 	return fmt.Sprintf("%.4f±%.4f (n=%d)", a.Mean(), a.CI95(), a.n)
 }
 
+// meanState is the serialized form of a Mean. Every internal field —
+// including the Kahan compensation terms — is preserved, and Go's JSON
+// encoder emits the shortest float64 representation that parses back to
+// the identical bits, so Marshal/Unmarshal round-trips are exact: a
+// checkpointed accumulator resumes bit-identical to the live one.
+type meanState struct {
+	N      int64   `json:"n"`
+	Sum    float64 `json:"sum"`
+	Comp   float64 `json:"comp"`
+	Sumsq  float64 `json:"sumsq"`
+	Compsq float64 `json:"compsq"`
+}
+
+// MarshalJSON implements json.Marshaler, preserving the accumulator
+// state exactly (see meanState).
+func (a *Mean) MarshalJSON() ([]byte, error) {
+	return json.Marshal(meanState{N: a.n, Sum: a.sum, Comp: a.comp, Sumsq: a.sumsq, Compsq: a.compsq})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the inverse of MarshalJSON.
+func (a *Mean) UnmarshalJSON(b []byte) error {
+	var s meanState
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*a = Mean{n: s.N, sum: s.Sum, comp: s.Comp, sumsq: s.Sumsq, compsq: s.Compsq}
+	return nil
+}
+
 // Ratio accumulates Bernoulli outcomes (e.g. schedulable / not).
 type Ratio struct {
 	hits, total int64
@@ -154,4 +184,26 @@ func (r *Ratio) Merge(b *Ratio) {
 // String renders "0.8123±0.0034 (n)".
 func (r *Ratio) String() string {
 	return fmt.Sprintf("%.4f±%.4f (n=%d)", r.Value(), r.CI95(), r.total)
+}
+
+// ratioState is the serialized form of a Ratio (integer counts, so the
+// round-trip is trivially exact).
+type ratioState struct {
+	Hits  int64 `json:"hits"`
+	Total int64 `json:"total"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r *Ratio) MarshalJSON() ([]byte, error) {
+	return json.Marshal(ratioState{Hits: r.hits, Total: r.total})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Ratio) UnmarshalJSON(b []byte) error {
+	var s ratioState
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*r = Ratio{hits: s.Hits, total: s.Total}
+	return nil
 }

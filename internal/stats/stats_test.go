@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
@@ -173,5 +174,53 @@ func TestMeanStripingInvariance(t *testing.T) {
 		if d := math.Abs(merged.Var() - serial.Var()); d > 1e-9 {
 			t.Errorf("workers=%d: var drift %v", workers, d)
 		}
+	}
+}
+
+// TestMeanJSONRoundTripExact: checkpoint/resume depends on the
+// serialized accumulator state being bit-identical after a JSON
+// round-trip, compensation terms included.
+func TestMeanJSONRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var m Mean
+	for i := 0; i < 1000; i++ {
+		m.Add(0.001 + rng.Float64())
+	}
+	b, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Mean
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Fatalf("round-trip changed state:\n got %+v\nwant %+v", back, m)
+	}
+	// Continuing to accumulate after the round-trip must track the
+	// original bit for bit.
+	for i := 0; i < 100; i++ {
+		x := rng.Float64()
+		m.Add(x)
+		back.Add(x)
+	}
+	if back != m {
+		t.Fatalf("post-round-trip accumulation diverged:\n got %+v\nwant %+v", back, m)
+	}
+}
+
+func TestRatioJSONRoundTripExact(t *testing.T) {
+	var r Ratio
+	r.AddN(123, 456)
+	b, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Ratio
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Fatalf("round-trip changed state: got %+v want %+v", back, r)
 	}
 }

@@ -34,6 +34,12 @@ go run ./cmd/mclint ./...
 step "go test -race"
 go test -race ./...
 
+# The fault-tolerance suite runs in the full -race pass above; repeat
+# it by name so a filtered or cached run can never skip the
+# checkpoint/resume, quarantine and fault-injection proofs.
+step "fault-tolerance suite (race)"
+go test -race -count=1 -run 'FaultInject|Resume|Quarantine' ./internal/runner/... ./cmd/mcexp
+
 if [[ "$FUZZTIME" != "0s" && "$FUZZTIME" != "0" ]]; then
     step "fuzz (${FUZZTIME} per target)"
     go test ./internal/edfvd -run='^$' -fuzz='^FuzzTheorem1Feasible$' -fuzztime="$FUZZTIME"
