@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"catpa/internal/obs"
+)
+
+// update regenerates the golden files from the current output:
+//
+//	go test ./cmd/mcexp -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenArgs pins every determinism knob: seed and set count fix the
+// task-set population, and the worker count fixes the striping (the
+// mean metrics are bit-exact only for a fixed worker count).
+func goldenArgs(outDir, metricsPath string) []string {
+	return []string{
+		"-figure", "1", "-sets", "200", "-seed", "2016", "-workers", "2",
+		"-csv", "-out", outDir, "-metrics", metricsPath,
+	}
+}
+
+// TestGoldenFigure1 locks the end-to-end CLI output byte-for-byte: a
+// small fixed-seed figure-1 run must reproduce the checked-in CSVs and
+// (timing-redacted) metrics snapshot exactly. Any drift in the
+// generator, the analysis, the partitioning heuristics, the CSV
+// renderer or the metrics plumbing fails this test; run with -update
+// to accept an intentional change.
+func TestGoldenFigure1(t *testing.T) {
+	outDir := t.TempDir()
+	metricsPath := filepath.Join(outDir, "metrics.json")
+	var stdout, stderr bytes.Buffer
+	if code := run(goldenArgs(outDir, metricsPath), &stdout, &stderr, nil); code != exitOK {
+		t.Fatalf("run exited %d\nstderr:\n%s", code, stderr.String())
+	}
+
+	for _, name := range []string{
+		"fig1-a-sched-ratio.csv",
+		"fig1-b-usys.csv",
+		"fig1-c-uavg.csv",
+		"fig1-d-imbalance.csv",
+	} {
+		got, err := os.ReadFile(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatalf("CLI wrote no %s: %v", name, err)
+		}
+		compareGolden(t, name, got)
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("CLI wrote no metrics snapshot: %v", err)
+	}
+	compareGolden(t, "fig1-metrics.json", redactTimings(t, raw))
+}
+
+// redactTimings zeroes the nondeterministic parts of a metrics
+// snapshot — per-bucket histogram counts, duration sums and maxima
+// depend on machine speed — while keeping everything provably
+// deterministic: all counters, the gauges, the bucket bounds and each
+// histogram's total observation count (one observation per set and
+// stage, regardless of timing).
+func redactTimings(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var snaps map[string]*obs.Snapshot
+	if err := json.Unmarshal(raw, &snaps); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v", err)
+	}
+	for _, s := range snaps {
+		for name, h := range s.Histograms {
+			for i := range h.Counts {
+				h.Counts[i] = 0
+			}
+			h.SumNS = 0
+			h.MaxNS = 0
+			s.Histograms[name] = h
+		}
+	}
+	out, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// compareGolden byte-compares got against testdata/<name>, rewriting
+// the golden under -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create it): %v", golden, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden (rerun with -update if intentional)\n got:\n%s\nwant:\n%s",
+			name, clip(got), clip(want))
+	}
+}
+
+// clip bounds a diff dump to its first lines.
+func clip(b []byte) string {
+	lines := strings.SplitN(string(b), "\n", 12)
+	if len(lines) == 12 {
+		lines[11] = fmt.Sprintf("... (%d bytes total)", len(b))
+	}
+	return strings.Join(lines, "\n")
+}

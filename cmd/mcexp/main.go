@@ -21,6 +21,13 @@
 // point, flushes the checkpoint, prints the partial results and a
 // resume command; a second signal aborts immediately.
 //
+// Long runs can be watched: -progress 10s prints a throughput line
+// (sets/sec and ETA) to stderr every interval, -metrics out.json
+// writes the final metrics snapshot (per-figure counters, stage
+// timing histograms) as JSON, and -pprof localhost:6060 serves
+// net/http/pprof for live profiling. Resumed runs report cumulative
+// totals: the metrics snapshot rides the checkpoint journal.
+//
 // Exit codes:
 //
 //	0  all requested figures completed
@@ -32,10 +39,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -46,6 +57,7 @@ import (
 
 	"catpa"
 	"catpa/internal/experiments"
+	"catpa/internal/obs"
 	"catpa/internal/runner"
 )
 
@@ -70,6 +82,9 @@ type config struct {
 	csv        bool
 	out        string
 	checkpoint string
+	progress   time.Duration
+	metrics    string
+	pprofAddr  string
 	// notes are advisory messages surfaced on stderr before the run
 	// (e.g. -csv without -out goes to stdout).
 	notes []string
@@ -102,6 +117,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		csv        = fs.Bool("csv", false, "emit CSV instead of tables")
 		out        = fs.String("out", "", "directory for CSV output (default stdout)")
 		checkpoint = fs.String("checkpoint", "", "directory for resumable per-figure checkpoint journals")
+		progress   = fs.Duration("progress", 0, "print a sets/sec + ETA line to stderr every interval (0 = off)")
+		metrics    = fs.String("metrics", "", "write the final metrics snapshot (JSON, keyed by figure) to this file")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -117,6 +135,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		csv:        *csv,
 		out:        *out,
 		checkpoint: *checkpoint,
+		progress:   *progress,
+		metrics:    *metrics,
+		pprofAddr:  *pprofAddr,
 	}
 	if *figure == "all" {
 		cfg.figures = experiments.Figures
@@ -132,6 +153,9 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	}
 	if cfg.workers < 0 {
 		return nil, &usageError{"-workers", strconv.Itoa(cfg.workers), "want 0 (use GOMAXPROCS) or a positive worker count"}
+	}
+	if cfg.progress < 0 {
+		return nil, &usageError{"-progress", cfg.progress.String(), "want 0 (off) or a positive interval like 10s"}
 	}
 	if cfg.csv && cfg.out == "" {
 		cfg.notes = append(cfg.notes, "-csv without -out: writing CSV to stdout")
@@ -184,12 +208,43 @@ func run(args []string, stdout, stderr io.Writer, signals func(context.Context, 
 		defer release()
 	}
 
+	if cfg.pprofAddr != "" {
+		ln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "mcexp: -pprof:", err)
+			return exitFatal
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "mcexp: pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+
+	// snaps collects the final per-figure metrics snapshot for
+	// -metrics; it is written on every exit path once a figure ran.
+	snaps := make(map[string]*obs.Snapshot)
+	code := runFigures(ctx, cfg, stdout, stderr, snaps)
+	if cfg.metrics != "" && len(snaps) > 0 {
+		if err := writeMetrics(cfg.metrics, snaps, stderr); err != nil {
+			fmt.Fprintln(stderr, "mcexp:", err)
+			if code == exitOK {
+				code = exitFatal
+			}
+		}
+	}
+	return code
+}
+
+// runFigures executes every requested figure, filling snaps with one
+// metrics snapshot per completed-or-interrupted figure, and returns
+// the process exit code.
+func runFigures(ctx context.Context, cfg *config, stdout, stderr io.Writer, snaps map[string]*obs.Snapshot) int {
 	quarantined := 0
 	for _, n := range cfg.figures {
 		sw := catpa.Figure(n, cfg.sets, cfg.seed)
 		sw.Workers = cfg.workers
 
-		opts := &runner.Options{}
+		met := runner.NewMetrics(obs.NewRegistry())
+		opts := &runner.Options{Metrics: met}
 		if cfg.checkpoint != "" {
 			if err := os.MkdirAll(cfg.checkpoint, 0o755); err != nil {
 				fmt.Fprintln(stderr, "mcexp:", err)
@@ -198,12 +253,16 @@ func run(args []string, stdout, stderr io.Writer, signals func(context.Context, 
 			opts.CheckpointPath = checkpointFile(cfg.checkpoint, sw.Name, cfg.seed, cfg.sets)
 		}
 
+		total := int64(cfg.sets) * int64(len(sw.Values))
+		stop := startProgress(stderr, sw.Name, met, total, cfg.progress)
 		start := time.Now()
 		rep, err := runner.Run(ctx, sw, opts)
+		stop()
 		if rep == nil {
 			fmt.Fprintln(stderr, "mcexp:", err)
 			return exitFatal
 		}
+		snaps[sw.Name] = met.Snapshot()
 		elapsed := time.Since(start).Round(time.Millisecond)
 		reportQuarantines(stderr, n, cfg, rep.Quarantined)
 		quarantined += len(rep.Quarantined)
@@ -238,6 +297,20 @@ func run(args []string, stdout, stderr io.Writer, signals func(context.Context, 
 		return exitQuarantine
 	}
 	return exitOK
+}
+
+// writeMetrics persists the per-figure snapshots as indented JSON
+// (map keys sort, so the output is deterministic given equal counts).
+func writeMetrics(path string, snaps map[string]*obs.Snapshot, stderr io.Writer) error {
+	data, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := runner.WriteFileAtomic(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s\n", path)
+	return nil
 }
 
 // emit renders one figure's charts: CSV files (atomic write), CSV to

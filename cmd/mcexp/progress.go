@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"catpa/internal/runner"
+)
+
+// startProgress launches the periodic throughput reporter for one
+// figure: every interval it prints the cumulative set count (which
+// includes sets restored from a resumed checkpoint), the rate since
+// the previous tick and the ETA to total sets. The returned stop
+// function halts the reporter and waits for it to exit; with a zero
+// interval no goroutine starts and stop is a no-op.
+func startProgress(stderr io.Writer, name string, met *runner.Metrics, total int64, every time.Duration) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		lastN := met.SetsDone()
+		lastT := time.Now()
+		for {
+			select {
+			case <-quit:
+				return
+			case now := <-tick.C:
+				n := met.SetsDone()
+				rate := float64(n-lastN) / now.Sub(lastT).Seconds()
+				fmt.Fprintf(stderr, "mcexp: %s: %d/%d sets (%.1f%%), %.0f sets/s, ETA %s\n",
+					name, n, total, 100*float64(n)/float64(total), rate, eta(total-n, rate))
+				lastN, lastT = n, now
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+// eta renders the time to finish remaining sets at rate sets/sec, or
+// "?" while the rate is not yet positive (first tick of a cold run).
+func eta(remaining int64, rate float64) string {
+	if rate <= 0 {
+		return "?"
+	}
+	d := time.Duration(float64(remaining) / rate * float64(time.Second))
+	return d.Round(time.Second).String()
+}

@@ -22,7 +22,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"catpa/internal/obs"
 	"catpa/internal/partition"
 	"catpa/internal/stats"
 	"catpa/internal/taskgen"
@@ -168,6 +170,9 @@ type RunConfig struct {
 	OnPoint func(point int, p *Point, quarantined []Quarantine)
 	// Hook is the fault-injection surface; nil in production.
 	Hook SetHook
+	// Metrics attaches the observability surface (counters and stage
+	// timings, see NewSweepMetrics); nil runs without instrumentation.
+	Metrics *SweepMetrics
 }
 
 // job is one stripe of one sweep point: the worker evaluates every
@@ -185,6 +190,7 @@ type job struct {
 	point   int
 	x       float64
 	hook    SetHook
+	metrics *SweepMetrics
 	row     []Cell
 	quar    *[]Quarantine
 	done    *sync.WaitGroup
@@ -225,6 +231,9 @@ func (p *pool) worker() {
 		}
 		for set := jb.first; set < jb.sets; set += jb.stride {
 			q := runSet(gen, part, &evals, &jb, set)
+			if m := jb.metrics; m != nil {
+				m.setsTotal.Inc()
+			}
 			if q == nil {
 				continue
 			}
@@ -238,6 +247,12 @@ func (p *pool) worker() {
 			for si := range jb.schemes {
 				jb.row[si].Sched.Add(false)
 			}
+			if m := jb.metrics; m != nil {
+				m.setsQuarantined.Inc()
+				for _, s := range jb.schemes {
+					m.rejected[s].Inc()
+				}
+			}
 			gen = taskgen.NewGenerator()
 			part = partition.New(jb.m, jb.k)
 			evals = nil
@@ -249,8 +264,9 @@ func (p *pool) worker() {
 // runSet evaluates one (point, set) pair, converting a panic — from
 // the fault-injection hook, the generator or the partitioning analysis
 // — into a Quarantine instead of taking down the process. Accumulation
-// into the row happens only after EvaluateAll returns, so a quarantined
-// set contributes nothing but its Sched.Add(false) markers.
+// into the row happens only after evaluation returns, so a quarantined
+// set contributes nothing but its Sched.Add(false) markers (and its
+// rejected counters, added by the worker loop).
 func runSet(gen *taskgen.Generator, part *partition.Partitioner, evals *[]partition.Eval, jb *job, set int) (q *Quarantine) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -260,8 +276,36 @@ func runSet(gen *taskgen.Generator, part *partition.Partitioner, evals *[]partit
 	if jb.hook != nil {
 		jb.hook.BeforeSet(jb.point, set)
 	}
-	ts := gen.Generate(jb.cfg, jb.seed, set)
-	*evals = part.EvaluateAll(ts, jb.schemes, jb.opts, (*evals)[:0])
+	m := jb.metrics
+	if m == nil {
+		ts := gen.Generate(jb.cfg, jb.seed, set)
+		*evals = part.EvaluateAll(ts, jb.schemes, jb.opts, (*evals)[:0])
+	} else {
+		// Instrumented path: identical call sequence (Prepare + Place +
+		// Summarize is exactly EvaluateAll's body, so verdicts stay
+		// bit-identical), with per-stage spans accumulated into one
+		// observation per stage per set. Everything here is atomics on
+		// preallocated storage — zero allocations.
+		sp := obs.StartSpan(m.genSeconds)
+		ts := gen.Generate(jb.cfg, jb.seed, set)
+		sp.End()
+		tp := time.Now()
+		part.Prepare(ts)
+		placing := time.Since(tp)
+		*evals = (*evals)[:0]
+		var analyzing time.Duration
+		for _, s := range jb.schemes {
+			t0 := time.Now()
+			part.Place(s, jb.opts)
+			t1 := time.Now()
+			ev := part.Summarize()
+			analyzing += time.Since(t1)
+			placing += t1.Sub(t0)
+			*evals = append(*evals, ev)
+		}
+		m.partSeconds.Observe(placing)
+		m.anaSeconds.Observe(analyzing)
+	}
 	for si := range jb.schemes {
 		ev, cell := &(*evals)[si], &jb.row[si]
 		cell.Sched.Add(ev.Feasible)
@@ -269,6 +313,13 @@ func runSet(gen *taskgen.Generator, part *partition.Partitioner, evals *[]partit
 			cell.Usys.Add(ev.Usys)
 			cell.Uavg.Add(ev.Uavg)
 			cell.Imb.Add(ev.Imbalance)
+		}
+		if m != nil {
+			if ev.Feasible {
+				m.accepted[jb.schemes[si]].Inc()
+			} else {
+				m.rejected[jb.schemes[si]].Inc()
+			}
 		}
 	}
 	return nil
@@ -316,7 +367,7 @@ func (s *Sweep) RunContext(ctx context.Context, cfg *RunConfig) (*Result, error)
 			return res, err
 		}
 		var quar []Quarantine
-		res.Points[pi], quar = s.runPoint(pl, pi, x, schemes, workers, cfg.Hook)
+		res.Points[pi], quar = s.runPoint(pl, pi, x, schemes, workers, cfg.Hook, cfg.Metrics)
 		res.Quarantined = append(res.Quarantined, quar...)
 		if cfg.OnPoint != nil {
 			cfg.OnPoint(pi, &res.Points[pi], quar)
@@ -330,7 +381,7 @@ func (s *Sweep) RunContext(ctx context.Context, cfg *RunConfig) (*Result, error)
 // independent of the worker count; the mean metrics use compensated
 // accumulation, so they agree across worker counts to ~1e-9 even
 // though the per-stripe summation order differs.
-func (s *Sweep) runPoint(pl *pool, pi int, x float64, schemes []partition.Scheme, workers int, hook SetHook) (Point, []Quarantine) {
+func (s *Sweep) runPoint(pl *pool, pi int, x float64, schemes []partition.Scheme, workers int, hook SetHook, metrics *SweepMetrics) (Point, []Quarantine) {
 	params := DefaultParams()
 	if s.Apply != nil {
 		s.Apply(&params, x)
@@ -365,6 +416,7 @@ func (s *Sweep) runPoint(pl *pool, pi int, x float64, schemes []partition.Scheme
 			point:   pi,
 			x:       x,
 			hook:    hook,
+			metrics: metrics,
 			row:     rows[w],
 			quar:    &quars[w],
 			done:    &done,

@@ -24,6 +24,11 @@
 //	             internal/experiments that accept a context.Context
 //	             must take it as the first parameter, so cancellation
 //	             plumbing stays auditable.
+//	obsname    – metric names passed to obs.Registry registration
+//	             methods must be compile-time constant strings that
+//	             satisfy obs.ValidName, and each full name may be
+//	             registered at only one call site per package (a second
+//	             site is a latent registration panic).
 //
 // A finding can be suppressed by the line above it (or a trailing
 // comment on the same line):
@@ -90,6 +95,7 @@ func DefaultRules(modulePath string) []Rule {
 			modulePath + "/internal/runner",
 			modulePath + "/internal/experiments",
 		}},
+		&ObsName{ObsPath: modulePath + "/internal/obs"},
 	}
 }
 

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"catpa/internal/obs"
+)
+
+// registrars are the obs.Registry methods whose first argument is a
+// metric name.
+var registrars = map[string]bool{
+	"Counter":        true,
+	"Gauge":          true,
+	"Histogram":      true,
+	"LabeledCounter": true,
+}
+
+// ObsName enforces the metric-naming contract of internal/obs at
+// compile time rather than at registration panic: every name passed to
+// Registry.Counter / Gauge / Histogram / LabeledCounter must be a
+// compile-time constant string that satisfies obs.ValidName (lowercase
+// dot-separated segments), and no constant name may be registered at
+// more than one call site in a package — the registry panics on a
+// duplicate, so a second registration site is a latent crash that only
+// fires when both sites share a registry. LabeledCounter base names are
+// exempt from the duplicate check (a counter family deliberately reuses
+// its base across labels), but the base itself must still be a valid
+// constant. The validity predicate is obs.ValidName itself, so the
+// static rule and the runtime panic can never drift apart.
+type ObsName struct {
+	// ObsPath is the import path of the obs package. The package itself
+	// is exempt: its LabeledCounter helper concatenates names at
+	// runtime by design.
+	ObsPath string
+}
+
+// Name implements Rule.
+func (*ObsName) Name() string { return "obsname" }
+
+// Doc implements Rule.
+func (*ObsName) Doc() string {
+	return "obs metric names must be constant lowercase dot-paths, each registered at one site"
+}
+
+// Check implements Rule.
+func (r *ObsName) Check(pkg *Package, report Reporter) {
+	if pkg.ImportPath == r.ObsPath {
+		return
+	}
+	// seen maps each constant metric name to its first registration
+	// site, for the duplicate diagnostic.
+	seen := make(map[string]token.Position)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registrars[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			if !r.isRegistry(pkg.Info.TypeOf(sel.X)) {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pkg.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				report(arg, "metric name passed to Registry.%s must be a compile-time constant string", sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !obs.ValidName(name) {
+				report(arg, "metric name %q is malformed; names are lowercase dot-separated segments like %q", name, "sweep.sets.total")
+				return true
+			}
+			// A LabeledCounter base is shared across its label family on
+			// purpose; only full names must be unique.
+			if sel.Sel.Name == "LabeledCounter" {
+				return true
+			}
+			if first, dup := seen[name]; dup {
+				report(arg, "metric %q is also registered at %s; each name may be registered only once per registry", name, first)
+				return true
+			}
+			seen[name] = pkg.Fset.Position(arg.Pos())
+			return true
+		})
+	}
+}
+
+// isRegistry reports whether t is obs.Registry or *obs.Registry.
+func (r *ObsName) isRegistry(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == r.ObsPath && obj.Name() == "Registry"
+}

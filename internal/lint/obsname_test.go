@@ -1,0 +1,106 @@
+package lint
+
+import "testing"
+
+func obsNameRule() []Rule {
+	return []Rule{&ObsName{ObsPath: "catpa/internal/obs"}}
+}
+
+func TestObsNameFlagsBadNames(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/obs"
+
+func wire(r *obs.Registry) {
+	r.Counter("sweep.sets.total")
+	r.Counter("Sweep.Sets.Total")
+	r.Gauge("sweep..workers")
+	r.Histogram("sweep.stage.-generate", nil)
+	r.Counter("")
+}
+`
+	findings := checkFixture(t, obsNameRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "obsname", 7, 8, 9, 10)
+}
+
+func TestObsNameRequiresConstantNames(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/obs"
+
+const base = "sweep.sets"
+
+func wire(r *obs.Registry, dyn string) {
+	r.Counter(base + ".total")
+	r.Counter(dyn)
+	r.Gauge("sweep." + dyn)
+	r.LabeledCounter(dyn, "wfd")
+}
+`
+	findings := checkFixture(t, obsNameRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "obsname", 9, 10, 11)
+}
+
+func TestObsNameFlagsDuplicateRegistration(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/obs"
+
+func wireA(r *obs.Registry) {
+	r.Counter("sweep.sets.total")
+	r.Gauge("sweep.workers")
+}
+
+func wireB(r *obs.Registry) {
+	r.Counter("sweep.sets.total")
+	r.Histogram("sweep.workers", nil)
+}
+`
+	// Both the repeated counter name and the gauge/histogram collision
+	// are flagged: the registry namespace spans metric kinds.
+	findings := checkFixture(t, obsNameRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "obsname", 11, 12)
+}
+
+func TestObsNameLabeledCounterBaseMayRepeat(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/obs"
+
+func wire(r *obs.Registry) *obs.Counter {
+	a := r.LabeledCounter("sweep.sets.accepted", "wfd")
+	_ = r.LabeledCounter("sweep.sets.accepted", "ffd")
+	return a
+}
+`
+	findings := checkFixture(t, obsNameRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "obsname")
+}
+
+func TestObsNameIgnoresOtherReceivers(t *testing.T) {
+	// A same-named method on an unrelated type must not trip the rule.
+	src := `package fix
+
+type fake struct{}
+
+func (fake) Counter(name string) int { return len(name) }
+
+func wire(f fake, dyn string) int { return f.Counter(dyn) }
+`
+	findings := checkFixture(t, obsNameRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "obsname")
+}
+
+func TestObsNameSuppressible(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/obs"
+
+func wire(r *obs.Registry, dyn string) {
+	//lint:ignore mclint/obsname name comes from a validated config file
+	r.Counter(dyn)
+}
+`
+	findings := checkFixture(t, obsNameRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "obsname")
+}

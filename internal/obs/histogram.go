@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultDurationBuckets is a 1-2-5 ladder from 1µs to 1s — wide
+// enough for per-set stage timings (microseconds) and checkpoint
+// flushes (milliseconds) alike.
+var DefaultDurationBuckets = []time.Duration{
+	1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second,
+}
+
+// Histogram is a fixed-bucket duration histogram. Bucket i counts
+// observations d with d <= bounds[i] (and d > bounds[i-1]); the last
+// slot counts overflows beyond the largest bound. All storage is
+// allocated at registration, so Observe performs only atomic updates.
+type Histogram struct {
+	name   string
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last slot is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+// Safe on a nil receiver (no-op) and for concurrent use.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	// Hand-rolled binary search: sort.Search would force the closure
+	// (and with it the hot path's zero-allocation guarantee) through
+	// escape analysis.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d > h.bounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		old := h.max.Load()
+		if int64(d) <= old || h.max.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration; 0 on a nil receiver.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Max returns the largest observed duration; 0 on a nil receiver.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Name returns the registered name; "" on a nil receiver.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Span times one stage: StartSpan stamps the clock, End records the
+// elapsed time into the histogram. It is a value type, so spanning a
+// stage costs two clock reads and zero allocations.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan starts timing against h (which may be nil: the span then
+// records nothing, but still costs the clock read).
+func StartSpan(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed time since StartSpan.
+func (s Span) End() {
+	s.h.Observe(time.Since(s.start))
+}

@@ -1,0 +1,239 @@
+// Package obs is the observability layer of the sweep pipeline: a
+// named registry of atomic counters, gauges and fixed-bucket duration
+// histograms, plus a Span helper for stage timing. It is built only on
+// the standard library and is allocation-free on the hot path: every
+// metric is registered once up front, and updating one is a handful of
+// atomic operations on preallocated storage — no maps, no interface
+// boxing, no locks. The experiment worker pool (internal/experiments)
+// therefore keeps its steady-state 0 allocs/op guarantee with
+// instrumentation enabled.
+//
+// Metric names are lowercase dot-separated paths ("sweep.sets.total");
+// each name may be registered exactly once per registry. Both rules are
+// enforced at registration time (panic) and statically by the mclint
+// rule obsname. Every metric method is nil-receiver safe, so optional
+// instrumentation can be threaded as nil pointers without branching at
+// each call site.
+//
+// Snapshots (see Snapshot) serialize a registry to JSON and merge back
+// into a live registry; the fault-tolerant runner embeds one in its
+// checkpoint journal so resumed runs report cumulative totals.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ValidName reports whether a metric name is well-formed: one or more
+// dot-separated segments, each starting and ending with a lowercase
+// letter or digit, with '-' and '_' allowed inside a segment
+// ("sweep.sets.total", "sweep.sets.accepted.ca-tpa"). This is the
+// single definition of the naming rule; mclint's obsname rule enforces
+// the same predicate statically.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i < len(name) && name[i] != '.' {
+			continue
+		}
+		if !validSegment(name[start:i]) {
+			return false
+		}
+		start = i + 1
+	}
+	return true
+}
+
+func validSegment(seg string) bool {
+	if seg == "" {
+		return false
+	}
+	for i := 0; i < len(seg); i++ {
+		c := seg[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case c == '-' || c == '_':
+			if i == 0 || i == len(seg)-1 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter is a monotonically increasing atomic int64 metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one. Safe on a nil receiver (no-op).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name; "" on a nil receiver.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Gauge is an instantaneous float64 metric (last value wins). Unlike
+// counters and histograms, gauges are not merged from snapshots: an
+// instantaneous reading from a dead process is not meaningful in a
+// resumed one.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v. Safe on a nil receiver (no-op).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value; 0 on a nil receiver.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Name returns the registered name; "" on a nil receiver.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Registry is a named collection of metrics. Registration takes a
+// lock and allocates; reading and updating registered metrics is
+// lock-free and allocation-free. A Registry must not be shared between
+// independent runs whose totals should stay separate — counters only
+// ever accumulate.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// register validates the name-per-registry invariants shared by all
+// metric kinds.
+func (r *Registry) register(name string) {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want lowercase dot-separated, like sweep.sets.total)", name))
+	}
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+}
+
+// Counter registers and returns a counter. It panics if the name is
+// malformed or already registered.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// LabeledCounter registers and returns the counter "name.label" — the
+// sanctioned way to build per-scheme (or otherwise per-dimension)
+// counter families from a constant base name and a runtime label. The
+// combined name obeys the same rules as Counter.
+func (r *Registry) LabeledCounter(name, label string) *Counter {
+	return r.Counter(name + "." + label)
+}
+
+// Gauge registers and returns a gauge. It panics if the name is
+// malformed or already registered.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram registers and returns a duration histogram with the given
+// bucket upper bounds (ascending; nil selects DefaultDurationBuckets).
+// It panics if the name is malformed or already registered, or if the
+// bounds are not strictly ascending.
+func (r *Registry) Histogram(name string, bounds []time.Duration) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.register(name)
+	if bounds == nil {
+		bounds = DefaultDurationBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending", name))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// sortedKeys returns the sorted keys of a metric map.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestValidName(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+	}{
+		{"sweep.sets.total", true},
+		{"sweep", true},
+		{"sweep.sets.accepted.ca-tpa", true},
+		{"a_b.c-d.e2", true},
+		{"0x.9", true},
+		{"", false},
+		{".", false},
+		{"sweep.", false},
+		{".sweep", false},
+		{"sweep..sets", false},
+		{"Sweep.sets", false},
+		{"sweep.Sets", false},
+		{"sweep.sets total", false},
+		{"sweep.-sets", false},
+		{"sweep.sets-", false},
+		{"_sweep", false},
+		{"sweep_", false},
+		{"swe/ep", false},
+	}
+	for _, c := range cases {
+		if got := ValidName(c.name); got != c.ok {
+			t.Errorf("ValidName(%q) = %v, want %v", c.name, got, c.ok)
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicatesAcrossKinds(t *testing.T) {
+	wantPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	reg := NewRegistry()
+	reg.Counter("a.counter")
+	reg.Gauge("a.gauge")
+	reg.Histogram("a.hist", nil)
+	wantPanic("dup counter", func() { reg.Counter("a.counter") })
+	wantPanic("counter name reused as gauge", func() { reg.Gauge("a.counter") })
+	wantPanic("gauge name reused as histogram", func() { reg.Histogram("a.gauge", nil) })
+	wantPanic("hist name reused as counter", func() { reg.Counter("a.hist") })
+	wantPanic("invalid name", func() { reg.Counter("Bad.Name") })
+	wantPanic("unsorted bounds", func() {
+		reg.Histogram("b.hist", []time.Duration{time.Second, time.Millisecond})
+	})
+	wantPanic("labeled dup", func() { reg.LabeledCounter("a", "counter") })
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c.total")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("counter = %d, want 42", c.Value())
+	}
+	if c.Name() != "c.total" {
+		t.Errorf("name = %q", c.Name())
+	}
+	g := reg.Gauge("g.now")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("gauge = %v, want 3.5", g.Value())
+	}
+	lc := reg.LabeledCounter("c.scheme", "ca-tpa")
+	if lc.Name() != "c.scheme.ca-tpa" {
+		t.Errorf("labeled name = %q", lc.Name())
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	h.Observe(time.Second)
+	StartSpan(h).End()
+	if c.Value() != 0 || c.Name() != "" || g.Value() != 0 || g.Name() != "" {
+		t.Error("nil counter/gauge must read as zero")
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Name() != "" || h.Bounds() != nil {
+		t.Error("nil histogram must read as zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	bounds := []time.Duration{time.Microsecond, time.Millisecond, time.Second}
+	h := reg.Histogram("h.seconds", bounds)
+	h.Observe(-time.Second) // clamps to 0 -> first bucket
+	h.Observe(time.Microsecond)
+	h.Observe(2 * time.Microsecond)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Minute) // overflow
+	hs := h.snapshot()
+	wantCounts := []int64{2, 2, 0, 1}
+	for i, want := range wantCounts {
+		if hs.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, hs.Counts[i], want, hs.Counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	wantSum := time.Microsecond + 2*time.Microsecond + time.Millisecond + time.Minute
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Max() != time.Minute {
+		t.Errorf("max = %v, want 1m", h.Max())
+	}
+	if got := h.Bounds(); len(got) != 3 || got[2] != time.Second {
+		t.Errorf("bounds = %v", got)
+	}
+}
+
+func TestSpanObservesElapsedTime(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("span.seconds", nil)
+	sp := StartSpan(h)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() < 2*time.Millisecond {
+		t.Errorf("sum = %v, want >= 2ms", h.Sum())
+	}
+}
+
+func TestSnapshotRoundTripAndMerge(t *testing.T) {
+	build := func() (*Registry, *Counter, *Gauge, *Histogram) {
+		reg := NewRegistry()
+		c := reg.Counter("m.count")
+		g := reg.Gauge("m.gauge")
+		h := reg.Histogram("m.seconds", []time.Duration{time.Microsecond, time.Millisecond})
+		return reg, c, g, h
+	}
+	reg1, c1, g1, h1 := build()
+	c1.Add(7)
+	g1.Set(2.5)
+	h1.Observe(3 * time.Microsecond)
+	h1.Observe(time.Second)
+
+	data, err := json.Marshal(reg1.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	reg2, c2, g2, h2 := build()
+	c2.Add(3)
+	h2.Observe(time.Microsecond)
+	reg2.Merge(&snap)
+
+	if c2.Value() != 10 {
+		t.Errorf("merged counter = %d, want 10", c2.Value())
+	}
+	if g2.Value() != 0 {
+		t.Errorf("gauges must not merge; got %v", g2.Value())
+	}
+	if h2.Count() != 3 {
+		t.Errorf("merged hist count = %d, want 3", h2.Count())
+	}
+	if h2.Max() != time.Second {
+		t.Errorf("merged hist max = %v, want 1s", h2.Max())
+	}
+	wantSum := time.Microsecond + 3*time.Microsecond + time.Second
+	if h2.Sum() != wantSum {
+		t.Errorf("merged hist sum = %v, want %v", h2.Sum(), wantSum)
+	}
+	// Round-trip determinism: snapshotting the same state twice yields
+	// identical bytes.
+	again, err := json.Marshal(reg1.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("snapshot not byte-stable:\n%s\n%s", data, again)
+	}
+}
+
+func TestMergeSkipsIncompatibleEntries(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("keep.total")
+	h := reg.Histogram("keep.seconds", []time.Duration{time.Microsecond})
+	snap := &Snapshot{
+		Counters: map[string]int64{"keep.total": 4, "unknown.total": 99},
+		Histograms: map[string]HistogramSnapshot{
+			// Bounds mismatch: must be skipped wholesale.
+			"keep.seconds": {BoundsNS: []int64{int64(time.Millisecond)}, Counts: []int64{5, 5}, Count: 10, SumNS: 10, MaxNS: 10},
+			"unknown.s":    {BoundsNS: []int64{1}, Counts: []int64{1, 1}, Count: 2},
+		},
+	}
+	reg.Merge(snap)
+	reg.Merge(nil)
+	if c.Value() != 4 {
+		t.Errorf("counter = %d, want 4", c.Value())
+	}
+	if h.Count() != 0 {
+		t.Errorf("mismatched histogram merged: count = %d, want 0", h.Count())
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("alloc.total")
+	g := reg.Gauge("alloc.gauge")
+	h := reg.Histogram("alloc.seconds", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.5)
+		h.Observe(3 * time.Microsecond)
+		sp := StartSpan(h)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("conc.total")
+	h := reg.Histogram("conc.seconds", nil)
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(time.Duration(w+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Errorf("hist count = %d, want %d", h.Count(), workers*each)
+	}
+	if h.Max() != time.Duration(workers)*time.Microsecond {
+		t.Errorf("max = %v, want %dµs", h.Max(), workers)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import "time"
+
+// Snapshot is the serializable state of a registry at one instant.
+// Every field uses deterministic JSON (map keys marshal sorted), so a
+// snapshot of a deterministic run is byte-stable — the property the
+// golden-file tests rely on. Each metric is read atomically, but the
+// snapshot as a whole is not a consistent cut under concurrent
+// updates; the runner only snapshots at point boundaries, when the
+// worker pool is drained.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is the serialized state of one duration histogram.
+// Durations are integer nanoseconds, so the JSON round-trip is exact.
+type HistogramSnapshot struct {
+	// BoundsNS holds the bucket upper bounds in nanoseconds.
+	BoundsNS []int64 `json:"bounds_ns"`
+	// Counts holds one count per bucket plus the overflow slot.
+	Counts []int64 `json:"counts"`
+	// Count, SumNS and MaxNS summarize all observations.
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for _, name := range sortedKeys(r.hists) {
+			s.Histograms[name] = r.hists[name].snapshot()
+		}
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{
+		BoundsNS: make([]int64, len(h.bounds)),
+		Counts:   make([]int64, len(h.counts)),
+		Count:    h.count.Load(),
+		SumNS:    h.sum.Load(),
+		MaxNS:    h.max.Load(),
+	}
+	for i, b := range h.bounds {
+		hs.BoundsNS[i] = int64(b)
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
+// Merge folds a snapshot into the live registry: counters add their
+// snapshot value, histograms add bucket-wise when their bounds match
+// exactly, and gauges are skipped (an instantaneous reading from a
+// dead process has no meaning in this one). Snapshot entries with no
+// registered counterpart are ignored — the live registry is the
+// schema. This is how a resumed run restores the cumulative totals of
+// the run it continues.
+func (r *Registry) Merge(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, v := range s.Counters {
+		if c, ok := r.counters[name]; ok {
+			c.Add(v)
+		}
+	}
+	for name, hs := range s.Histograms {
+		if h, ok := r.hists[name]; ok {
+			h.merge(hs)
+		}
+	}
+}
+
+func (h *Histogram) merge(hs HistogramSnapshot) {
+	if len(hs.BoundsNS) != len(h.bounds) || len(hs.Counts) != len(h.counts) {
+		return
+	}
+	for i, b := range h.bounds {
+		if hs.BoundsNS[i] != int64(b) {
+			return
+		}
+	}
+	for i, n := range hs.Counts {
+		h.counts[i].Add(n)
+	}
+	h.count.Add(hs.Count)
+	h.sum.Add(hs.SumNS)
+	for {
+		old := h.max.Load()
+		if hs.MaxNS <= old || h.max.CompareAndSwap(old, hs.MaxNS) {
+			break
+		}
+	}
+}
+
+// Bounds returns a copy of the histogram's bucket upper bounds; nil on
+// a nil receiver.
+func (h *Histogram) Bounds() []time.Duration {
+	if h == nil {
+		return nil
+	}
+	return append([]time.Duration(nil), h.bounds...)
+}

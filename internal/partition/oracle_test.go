@@ -1,0 +1,63 @@
+package partition_test
+
+import (
+	"testing"
+
+	"catpa/internal/partition"
+	"catpa/internal/sim"
+	"catpa/internal/taskgen"
+)
+
+// TestSimOracleAcceptsAreSafe is the differential proof tying the
+// analytical pipeline to the event simulator: every task set a
+// partitioning scheme accepts (each core passed the EDF-VD Theorem-1
+// test) must survive execution under the adversarial worst-case model
+// — every job runs to its own-criticality WCET, forcing the maximum
+// mode switching — with zero non-dropped deadline misses on every
+// core. A single miss would falsify either the analysis or the
+// simulator; the failure message carries the (seed, set, scheme)
+// triple that replays the exact input via taskgen.GenerateIndexed.
+//
+// The NSU ladder deliberately includes a point past the schemes'
+// acceptance cliff, so the accepted sets include tightly-loaded
+// boundary cases, not just easy ones.
+func TestSimOracleAcceptsAreSafe(t *testing.T) {
+	const (
+		seed = 20160814
+		sets = 100
+	)
+	cfg := taskgen.DefaultConfig()
+	cfg.M = 4
+	cfg.N = taskgen.IntRange{Lo: 16, Hi: 48}
+
+	accepted, simulated := 0, 0
+	for _, nsu := range []float64{0.45, 0.6, 0.7} {
+		cfg.NSU = nsu
+		for idx := 0; idx < sets; idx++ {
+			ts := taskgen.GenerateIndexed(&cfg, seed, idx)
+			for _, scheme := range partition.Schemes {
+				res := partition.Partition(ts, cfg.M, cfg.K, scheme, nil)
+				if !res.Feasible {
+					continue
+				}
+				accepted++
+				st := sim.SimulateSystem(sim.SystemConfig{
+					Subsets: res.Subsets(ts),
+					K:       cfg.K,
+				})
+				simulated++
+				if st.Missed() != 0 {
+					t.Fatalf("accepted set missed deadlines under the worst-case model\n"+
+						"reproduce: taskgen.GenerateIndexed(cfg{M=%d,K=%d,NSU=%v,N=[%d,%d]}, seed=%d, idx=%d), scheme %v\n%s",
+						cfg.M, cfg.K, nsu, cfg.N.Lo, cfg.N.Hi, seed, idx, scheme, st.String())
+				}
+			}
+		}
+	}
+	// The oracle is only evidence if it actually exercised accepts at
+	// every load level; an empty accept population would pass vacuously.
+	if accepted == 0 {
+		t.Fatal("oracle never saw an accepted partition; the sweep parameters are vacuous")
+	}
+	t.Logf("sim oracle: %d accepted partitions simulated, 0 misses", simulated)
+}

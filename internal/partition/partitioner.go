@@ -73,12 +73,38 @@ func (p *Partitioner) Evaluate(ts *mc.TaskSet, scheme Scheme, opts *Options) Eva
 // less than five Evaluate calls. Each Eval is bit-identical to the
 // corresponding Evaluate result.
 func (p *Partitioner) EvaluateAll(ts *mc.TaskSet, schemes []Scheme, opts *Options, dst []Eval) []Eval {
-	p.a.prepSet(ts)
+	p.Prepare(ts)
 	for _, s := range schemes {
-		p.a.runPrepared(s, opts)
-		dst = append(dst, p.a.evaluate())
+		p.Place(s, opts)
+		dst = append(dst, p.Summarize())
 	}
 	return dst
+}
+
+// Prepare installs ts for a batch of Place/Summarize calls: the
+// fission of EvaluateAll into its per-set preparation, placement and
+// analysis stages, so an instrumented caller can time each stage
+// separately. Prepare computes the utilization rows and task orderings
+// shared by every scheme of the batch; it allocates nothing in the
+// steady state.
+func (p *Partitioner) Prepare(ts *mc.TaskSet) {
+	p.a.prepSet(ts)
+}
+
+// Place runs the placement pass of one scheme over the set installed
+// by the last Prepare, leaving the per-core analyses cached for
+// Summarize. Schemes of one batch must be interleaved as
+// Place/Summarize pairs: a Place discards the previous scheme's run
+// state.
+func (p *Partitioner) Place(scheme Scheme, opts *Options) {
+	p.a.runPrepared(scheme, opts)
+}
+
+// Summarize folds the per-core analyses of the last Place into an
+// Eval, bit-identical to the corresponding Evaluate / EvaluateAll
+// result.
+func (p *Partitioner) Summarize() Eval {
+	return p.a.evaluate()
 }
 
 // Eval is the cheap evaluation of one partitioning run: the subset of

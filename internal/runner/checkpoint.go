@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"catpa/internal/experiments"
+	"catpa/internal/obs"
 )
 
 // checkpointVersion is bumped whenever the journal format changes
@@ -42,6 +43,25 @@ type pointRecord struct {
 	X           float64                  `json:"x"`
 	Cells       []experiments.Cell       `json:"cells"`
 	Quarantined []experiments.Quarantine `json:"quarantined,omitempty"`
+}
+
+// metricsRecord is the journal's embedded metrics snapshot. It is
+// written as the LAST line of every flush: the journal is rewritten
+// atomically, so the snapshot is always consistent with the point
+// records above it, and a torn tail sacrifices the snapshot before any
+// point — the resume path then rebuilds the countable totals from the
+// surviving records (Metrics.restore). Journals written without
+// metrics simply omit the line; the format version is unchanged
+// because old journals parse as a strict subset.
+type metricsRecord struct {
+	Metrics *obs.Snapshot `json:"metrics"`
+}
+
+// journalProbe distinguishes the two record kinds on one decoded line:
+// point records always carry "cells", metrics records carry "metrics".
+type journalProbe struct {
+	Metrics *obs.Snapshot   `json:"metrics"`
+	Cells   json.RawMessage `json:"cells"`
 }
 
 // envelope wraps every journal line with an IEEE CRC-32 of the raw
@@ -79,6 +99,16 @@ type Checkpoint struct {
 	hdr   header
 	recs  map[int]*pointRecord
 	order []int
+
+	// snap, when set, is sampled at every flush and written as the
+	// journal's final line, so the persisted metrics snapshot is always
+	// consistent with the point records it follows.
+	snap func() *obs.Snapshot
+
+	// LoadedSnapshot is the metrics snapshot recovered from the journal,
+	// or nil when the journal had none (older journal, fresh run, or a
+	// torn tail that cost the final line).
+	LoadedSnapshot *obs.Snapshot
 
 	// DroppedLines counts journal lines discarded at load time because
 	// they were torn or failed their checksum; the corresponding points
@@ -127,11 +157,26 @@ func openCheckpoint(path string, hdr header, write func(string, []byte) error) (
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
-		rec, err := decodePoint([]byte(line), hdr)
+		raw, err := decodeLine([]byte(line))
 		if err != nil {
 			// A torn tail (the only way an atomic journal ends up
 			// with a broken line) invalidates everything after it:
-			// stop and recompute those points.
+			// stop and recompute those points. The metrics snapshot
+			// is the final line, so it is always the first casualty.
+			ck.DroppedLines += 1
+			break
+		}
+		var probe journalProbe
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			ck.DroppedLines += 1
+			break
+		}
+		if probe.Metrics != nil {
+			ck.LoadedSnapshot = probe.Metrics
+			continue
+		}
+		rec, err := decodePoint(raw, hdr)
+		if err != nil {
 			ck.DroppedLines += 1
 			break
 		}
@@ -139,6 +184,11 @@ func openCheckpoint(path string, hdr header, write func(string, []byte) error) (
 			ck.order = append(ck.order, rec.Point)
 		}
 		ck.recs[rec.Point] = rec
+	}
+	if ck.DroppedLines > 0 {
+		// The snapshot is only trusted when the whole journal loaded
+		// intact: it must be consistent with every surviving point.
+		ck.LoadedSnapshot = nil
 	}
 	return ck, nil
 }
@@ -154,12 +204,8 @@ func countNonEmpty(lines []string) int {
 	return n
 }
 
-// decodePoint unwraps and validates one point record line.
-func decodePoint(line []byte, hdr header) (*pointRecord, error) {
-	raw, err := decodeLine(line)
-	if err != nil {
-		return nil, err
-	}
+// decodePoint validates one already-unwrapped point record.
+func decodePoint(raw json.RawMessage, hdr header) (*pointRecord, error) {
 	var rec pointRecord
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		return nil, err
@@ -220,6 +266,13 @@ func (c *Checkpoint) flush() error {
 	b.Write(encodeLine(hdr))
 	for _, pi := range c.order {
 		d, err := json.Marshal(c.recs[pi])
+		if err != nil {
+			return err
+		}
+		b.Write(encodeLine(d))
+	}
+	if c.snap != nil {
+		d, err := json.Marshal(metricsRecord{Metrics: c.snap()})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"catpa/internal/experiments"
+	"catpa/internal/obs"
+	"catpa/internal/partition"
+)
+
+// Metrics is the observability surface of a fault-tolerant run: the
+// sweep worker-pool metrics (experiments.SweepMetrics) plus the
+// runner's own checkpoint and progress accounting, all in one
+// registry. Construct a fresh Metrics (fresh registry) per Run —
+// counters only accumulate, and the resume restoration assumes they
+// start from zero.
+//
+// Restoration semantics on resume (see DESIGN.md §10): the journal's
+// embedded snapshot — written in the same atomic flush as the point
+// records, so never stale relative to them — is merged wholesale
+// (counters add, histograms add, gauges skip). If the snapshot is
+// missing or was dropped with a torn tail, the countable totals are
+// rebuilt exactly from the resumed point records instead and only the
+// timing history is lost.
+type Metrics struct {
+	// Exp is the worker-pool surface threaded into the sweep.
+	Exp *experiments.SweepMetrics
+
+	reg *obs.Registry
+
+	writes       *obs.Counter   // checkpoint.writes.total
+	writeSeconds *obs.Histogram // checkpoint.write.seconds
+	dropped      *obs.Counter   // checkpoint.lines.dropped
+	snapMerged   *obs.Counter   // checkpoint.snapshot.merged
+	snapRebuilt  *obs.Counter   // checkpoint.snapshot.rebuilt
+
+	pointsComputed *obs.Counter // sweep.points.computed
+	pointsResumed  *obs.Counter // sweep.points.resumed
+	pointCurrent   *obs.Gauge   // sweep.point.current
+	workers        *obs.Gauge   // sweep.workers
+}
+
+// NewMetrics registers the full runner + sweep metric set in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Exp:            experiments.NewSweepMetrics(reg),
+		reg:            reg,
+		writes:         reg.Counter("checkpoint.writes.total"),
+		writeSeconds:   reg.Histogram("checkpoint.write.seconds", nil),
+		dropped:        reg.Counter("checkpoint.lines.dropped"),
+		snapMerged:     reg.Counter("checkpoint.snapshot.merged"),
+		snapRebuilt:    reg.Counter("checkpoint.snapshot.rebuilt"),
+		pointsComputed: reg.Counter("sweep.points.computed"),
+		pointsResumed:  reg.Counter("sweep.points.resumed"),
+		pointCurrent:   reg.Gauge("sweep.point.current"),
+		workers:        reg.Gauge("sweep.workers"),
+	}
+}
+
+// Registry returns the backing registry.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Snapshot captures the current value of every metric.
+func (m *Metrics) Snapshot() *obs.Snapshot { return m.reg.Snapshot() }
+
+// SetsDone returns the cumulative number of task-set evaluations
+// (including restored totals) — the progress meter's numerator.
+func (m *Metrics) SetsDone() int64 { return m.Exp.SetsTotal() }
+
+// metExp returns the sweep-facing metrics surface, nil when
+// uninstrumented; metWriteSeconds the flush-duration histogram. Both
+// tolerate a nil receiver so Run's hot path stays branch-light.
+func metExp(m *Metrics) *experiments.SweepMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.Exp
+}
+
+func metWriteSeconds(m *Metrics) *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.writeSeconds
+}
+
+// restore rebuilds cumulative totals from an opened checkpoint: the
+// embedded snapshot when it survived intact, the point records
+// otherwise. schemes is the sweep's scheme list, indexing the cells of
+// every point record.
+func (m *Metrics) restore(ck *Checkpoint, resumed []int, schemes []partition.Scheme) {
+	m.dropped.Add(int64(ck.DroppedLines))
+	m.pointsResumed.Add(int64(len(resumed)))
+	if ck.LoadedSnapshot != nil {
+		m.reg.Merge(ck.LoadedSnapshot)
+		m.snapMerged.Inc()
+		return
+	}
+	if len(resumed) == 0 {
+		return
+	}
+	for _, pi := range resumed {
+		rec, _ := ck.done(pi)
+		m.Exp.AddResumedPoint(schemes, rec.Cells, len(rec.Quarantined))
+	}
+	m.snapRebuilt.Inc()
+}

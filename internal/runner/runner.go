@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"catpa/internal/experiments"
+	"catpa/internal/obs"
 	"catpa/internal/partition"
 )
 
@@ -29,6 +30,13 @@ type Options struct {
 	// WriteFile overrides the atomic checkpoint writer. Tests inject
 	// torn writes here; production leaves it nil (WriteFileAtomic).
 	WriteFile func(path string, data []byte) error
+	// Metrics, when non-nil, instruments the run: the sweep worker pool
+	// updates Metrics.Exp, the runner records checkpoint and progress
+	// accounting, and every checkpoint flush embeds a registry snapshot
+	// as the journal's final line. Construct a fresh Metrics (fresh
+	// registry) per Run — on resume the journaled totals are restored
+	// into it, so it reports cumulative whole-run numbers.
+	Metrics *Metrics
 }
 
 // Report is the outcome of a fault-tolerant run. Result is always
@@ -111,6 +119,11 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 
 	rep := &Report{CheckpointPath: opts.CheckpointPath, completed: make(map[int]bool)}
 
+	met := opts.Metrics
+	if met != nil {
+		met.workers.Set(float64(workers))
+	}
+
 	var ck *Checkpoint
 	if opts.CheckpointPath != "" {
 		hdr := header{
@@ -134,6 +147,10 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 				rep.Resumed = append(rep.Resumed, pi)
 			}
 		}
+		if met != nil {
+			met.restore(ck, rep.Resumed, schemes)
+			ck.snap = met.Snapshot
+		}
 	}
 
 	// A checkpoint flush failure must stop the run the way a crash
@@ -144,7 +161,8 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 	var flushErr error
 
 	cfg := &experiments.RunConfig{
-		Hook: opts.Hook,
+		Hook:    opts.Hook,
+		Metrics: metExp(met),
 		Skip: func(pi int) bool {
 			if ck == nil {
 				return false
@@ -153,9 +171,22 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 			return ok
 		},
 		OnPoint: func(pi int, p *experiments.Point, quar []experiments.Quarantine) {
+			// Progress counters move BEFORE the flush so the snapshot
+			// embedded in the journal accounts for its own write and
+			// the point it persists.
+			if met != nil {
+				met.pointCurrent.Set(float64(pi))
+				met.pointsComputed.Inc()
+				if ck != nil && flushErr == nil {
+					met.writes.Inc()
+				}
+			}
 			if ck != nil && flushErr == nil {
 				rec := &pointRecord{Point: pi, X: p.X, Cells: p.Cells, Quarantined: quar}
-				if err := ck.record(rec); err != nil {
+				sp := obs.StartSpan(metWriteSeconds(met))
+				err := ck.record(rec)
+				sp.End()
+				if err != nil {
 					flushErr = err
 					cancel()
 					return

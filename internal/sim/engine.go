@@ -208,9 +208,22 @@ func SimulateCore(cfg CoreConfig) *CoreStats {
 
 // buildVDTable precomputes the per-mode relative virtual deadlines.
 // When the subset passes Eq. 4, plain EDF is used (the paper's remark
-// after Eq. 4); otherwise the lambda factors of Eq. 6 scale the
-// deadlines of tasks above the current mode. Factors whose lambda is
-// undefined are treated as 1 (no scaling at that level).
+// after Eq. 4); otherwise, while the core operates in mode m, every
+// task above the current mode is scaled by the single factor
+// lambda_{m+1} of Eq. 6 — the recursion defines lambda_{m+1} exactly
+// so that the mode-m density U_m(m)/P + sum_{c>m} U_c(m)/(lambda*P)
+// (P the accumulated carry-over discount) balances to one. Modes
+// whose factor is undefined fall back to full deadlines; Theorem 1's
+// holding condition k covers those modes with its aggregate
+// own-level-utilization budget instead.
+//
+// Multiplying the per-level factors cumulatively (VD = p * prod
+// lambda_x up to the task's own level) is NOT equivalent for K > 2:
+// it over-shortens the virtual deadlines of high-criticality tasks,
+// inflating their low-mode density beyond what the recursion budgets
+// and starving low-criticality tasks — the simulation oracle exhibits
+// analysis-accepted subsets missing deadlines under that scheme. For
+// K = 2 the two schemes coincide (a single factor exists).
 func (e *engine) buildVDTable() {
 	m := mc.NewUtilMatrix(e.cfg.K)
 	for i := range e.cfg.Tasks {
@@ -237,10 +250,8 @@ func (e *engine) buildVDTable() {
 		for i := range e.cfg.Tasks {
 			t := &e.cfg.Tasks[i]
 			f := 1.0
-			if !plain {
-				for x := mode + 1; x <= t.Crit; x++ {
-					f *= lambda[x-1]
-				}
+			if !plain && t.Crit > mode {
+				f = lambda[mode] // lambda_{mode+1}; 1 when undefined
 			}
 			row[i] = t.Period * f
 		}

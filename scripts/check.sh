@@ -40,6 +40,29 @@ go test -race ./...
 step "fault-tolerance suite (race)"
 go test -race -count=1 -run 'FaultInject|Resume|Quarantine' ./internal/runner/... ./cmd/mcexp
 
+# Same discipline for the observability proofs: the sim-oracle
+# differential test (every analytical accept survives adversarial
+# simulation), the metrics/CSV agreement suite and the end-to-end
+# golden-file comparison must run by name on every gate.
+step "oracle + metrics + golden suite"
+go test -count=1 -run 'SimOracle|Metrics|Golden|ZeroAllocs' \
+    ./internal/partition ./internal/experiments ./internal/runner ./cmd/mcexp
+
+# Coverage ratchet: the line coverage of the internal packages must not
+# drop below the floor recorded when the gate was introduced. Raise the
+# floor when coverage durably improves; never lower it.
+step "coverage ratchet (internal/...)"
+COVER_FLOOR=91.5
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+go test -count=1 -coverprofile="$profile" ./internal/... >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total internal/... coverage: ${total}% (floor ${COVER_FLOOR}%)"
+awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' || {
+    echo "coverage ratchet: ${total}% is below the ${COVER_FLOOR}% floor" >&2
+    exit 1
+}
+
 if [[ "$FUZZTIME" != "0s" && "$FUZZTIME" != "0" ]]; then
     step "fuzz (${FUZZTIME} per target)"
     go test ./internal/edfvd -run='^$' -fuzz='^FuzzTheorem1Feasible$' -fuzztime="$FUZZTIME"
