@@ -26,29 +26,18 @@ import (
 // ordering is stable.
 const benchSets = 60
 
-// schemeIndex resolves a scheme's position in a scheme list by name,
-// so benchmarks never hard-code presentation-order indices.
-func schemeIndex(b *testing.B, schemes []catpa.Scheme, name string) int {
+// variantIndex resolves a variant's position in a sweep's variant list
+// by canonical name ("FFD", "CA-TPA@amcrtb"), so benchmarks never
+// hard-code presentation-order indices.
+func variantIndex(b *testing.B, variants []catpa.Variant, name string) int {
 	b.Helper()
-	want, err := catpa.ParseScheme(name)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for si, s := range schemes {
-		if s == want {
-			return si
+	for vi, v := range variants {
+		if v.String() == name {
+			return vi
 		}
 	}
-	b.Fatalf("scheme %q not in %v", name, schemes)
+	b.Fatalf("variant %q not in %v", name, variants)
 	return -1
-}
-
-// sweepSchemes returns the scheme list a sweep will actually evaluate.
-func sweepSchemes(sw *catpa.Sweep) []catpa.Scheme {
-	if len(sw.Schemes) > 0 {
-		return sw.Schemes
-	}
-	return catpa.Schemes
 }
 
 // figureBench runs one reduced figure sweep per iteration and reports
@@ -59,11 +48,11 @@ func figureBench(b *testing.B, fig int) {
 	for i := 0; i < b.N; i++ {
 		sw := catpa.Figure(fig, benchSets, 2016)
 		sw.Workers = 1
-		schemes := sweepSchemes(sw)
+		variants := sw.ActiveVariants()
 		res := sw.Run()
 		mid := len(sw.Values) / 2
-		ffdRatio = res.Value(mid, schemeIndex(b, schemes, "FFD"), catpa.SchedRatio)
-		catpaRatio = res.Value(mid, schemeIndex(b, schemes, "CA-TPA"), catpa.SchedRatio)
+		ffdRatio = res.Value(mid, variantIndex(b, variants, "FFD"), catpa.SchedRatio)
+		catpaRatio = res.Value(mid, variantIndex(b, variants, "CA-TPA"), catpa.SchedRatio)
 	}
 	b.ReportMetric(catpaRatio, "catpa_ratio")
 	b.ReportMetric(ffdRatio, "ffd_ratio")

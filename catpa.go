@@ -122,7 +122,9 @@ func FPSchedulable(tasks []Task) bool { return fpamc.Schedulable(tasks) }
 func FPPriorities(tasks []Task) []int { return fpamc.Priorities(tasks) }
 
 // FPPartition allocates a dual-criticality set under partitioned
-// fixed-priority AMC with the classical heuristics (WFD/FFD/BFD/Hybrid).
+// fixed-priority AMC: the unified allocator running atop the AMC-rtb
+// analysis backend. All five heuristics are supported, including
+// CA-TPA.
 func FPPartition(ts *TaskSet, m int, scheme Scheme) (*PartitionResult, error) {
 	return fpamc.Partition(ts, m, scheme)
 }
@@ -198,6 +200,33 @@ type (
 // materializing the Result. Not safe for concurrent use.
 func NewPartitioner(m, k int) *Partitioner { return partition.New(m, k) }
 
+// Pluggable per-core analysis backends (internal/partition).
+type (
+	// AnalysisBackend answers the allocator's per-core schedulability
+	// questions; the EDF-VD Theorem-1 analysis ("edfvd") and the
+	// AMC-rtb response-time analysis ("amcrtb") both implement it.
+	AnalysisBackend = partition.Backend
+)
+
+// DefaultBackend is the registry name of the EDF-VD Theorem-1 backend.
+const DefaultBackend = partition.DefaultBackend
+
+// FPBackendName is the registry name of the AMC-rtb backend.
+const FPBackendName = fpamc.BackendName
+
+// BackendNames returns the names of all registered analysis backends.
+func BackendNames() []string { return partition.BackendNames() }
+
+// NewAnalysisBackend returns a fresh instance of the named backend.
+func NewAnalysisBackend(name string) (AnalysisBackend, error) { return partition.NewBackend(name) }
+
+// NewPartitionerWithBackend returns a reusable engine whose per-core
+// schedulability questions are answered by be instead of the default
+// EDF-VD analysis; the engine takes ownership of be.
+func NewPartitionerWithBackend(m, k int, be AnalysisBackend) *Partitioner {
+	return partition.NewWithBackend(m, k, be)
+}
+
 // Workload generation (internal/taskgen).
 type (
 	// GenConfig describes a synthetic workload family (Section IV-A).
@@ -269,7 +298,18 @@ type (
 	ExpParams = experiments.Params
 	// Metric identifies one of the four sub-figure metrics.
 	Metric = experiments.Metric
+	// Variant is one (scheme, analysis backend) cell of a sweep's
+	// comparison; the zero Backend selects the default EDF-VD analysis.
+	Variant = experiments.Variant
 )
+
+// ParseVariant parses a variant name: a scheme name optionally
+// followed by "@backend" ("CA-TPA@amcrtb").
+func ParseVariant(name string) (Variant, error) { return experiments.ParseVariant(name) }
+
+// DefaultVariants returns the five paper schemes on the default
+// EDF-VD backend.
+func DefaultVariants() []Variant { return experiments.DefaultVariants() }
 
 // The four metrics of every figure.
 const (
@@ -279,7 +319,8 @@ const (
 	Imbalance  = experiments.Imbalance
 )
 
-// Figure returns the sweep regenerating the given paper figure (1-5).
+// Figure returns the sweep regenerating the given paper figure (1-5)
+// or the backend-comparison extension (6).
 func Figure(n, sets int, seed int64) *Sweep { return experiments.Figure(n, sets, seed) }
 
 // DefaultExpParams returns the paper's default parameter point.

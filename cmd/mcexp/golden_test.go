@@ -21,9 +21,9 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // goldenArgs pins every determinism knob: seed and set count fix the
 // task-set population, and the worker count fixes the striping (the
 // mean metrics are bit-exact only for a fixed worker count).
-func goldenArgs(outDir, metricsPath string) []string {
+func goldenArgs(figure, sets, outDir, metricsPath string) []string {
 	return []string{
-		"-figure", "1", "-sets", "200", "-seed", "2016", "-workers", "2",
+		"-figure", figure, "-sets", sets, "-seed", "2016", "-workers", "2",
 		"-csv", "-out", outDir, "-metrics", metricsPath,
 	}
 }
@@ -35,31 +35,45 @@ func goldenArgs(outDir, metricsPath string) []string {
 // renderer or the metrics plumbing fails this test; run with -update
 // to accept an intentional change.
 func TestGoldenFigure1(t *testing.T) {
+	goldenFigure(t, "fig1", "1", "200")
+}
+
+// TestGoldenFigure6 locks the backend-comparison figure the same way:
+// CA-TPA, FFD and Hybrid each run atop both the EDF-VD and AMC-rtb
+// analysis backends, so this golden additionally pins the AMC-rtb
+// response-time analysis and the variant plumbing end to end.
+func TestGoldenFigure6(t *testing.T) {
+	goldenFigure(t, "fig6", "6", "120")
+}
+
+func goldenFigure(t *testing.T, name, figure, sets string) {
+	t.Helper()
 	outDir := t.TempDir()
 	metricsPath := filepath.Join(outDir, "metrics.json")
 	var stdout, stderr bytes.Buffer
-	if code := run(goldenArgs(outDir, metricsPath), &stdout, &stderr, nil); code != exitOK {
+	if code := run(goldenArgs(figure, sets, outDir, metricsPath), &stdout, &stderr, nil); code != exitOK {
 		t.Fatalf("run exited %d\nstderr:\n%s", code, stderr.String())
 	}
 
-	for _, name := range []string{
-		"fig1-a-sched-ratio.csv",
-		"fig1-b-usys.csv",
-		"fig1-c-uavg.csv",
-		"fig1-d-imbalance.csv",
+	for _, suffix := range []string{
+		"a-sched-ratio.csv",
+		"b-usys.csv",
+		"c-uavg.csv",
+		"d-imbalance.csv",
 	} {
-		got, err := os.ReadFile(filepath.Join(outDir, name))
+		csv := name + "-" + suffix
+		got, err := os.ReadFile(filepath.Join(outDir, csv))
 		if err != nil {
-			t.Fatalf("CLI wrote no %s: %v", name, err)
+			t.Fatalf("CLI wrote no %s: %v", csv, err)
 		}
-		compareGolden(t, name, got)
+		compareGolden(t, csv, got)
 	}
 
 	raw, err := os.ReadFile(metricsPath)
 	if err != nil {
 		t.Fatalf("CLI wrote no metrics snapshot: %v", err)
 	}
-	compareGolden(t, "fig1-metrics.json", redactTimings(t, raw))
+	compareGolden(t, name+"-metrics.json", redactTimings(t, raw))
 }
 
 // redactTimings zeroes the nondeterministic parts of a metrics

@@ -1,7 +1,9 @@
 // Command mcexp regenerates the evaluation figures of Han et al.
 // (ICPP 2016): five partitioning schemes compared on schedulability
 // ratio, system utilization, average core utilization and workload
-// imbalance, across the five parameter sweeps of Figures 1-5.
+// imbalance, across the five parameter sweeps of Figures 1-5, plus a
+// sixth figure comparing the EDF-VD and AMC-rtb analysis backends on
+// dual-criticality workloads.
 //
 // Usage:
 //
@@ -9,6 +11,9 @@
 //	mcexp -figure all -plot                 # all figures with ASCII plots
 //	mcexp -figure 4 -csv -out results/      # CSV files per metric
 //	mcexp -figure 2 -checkpoint ckpt/       # journal progress, resumable
+//	mcexp -figure 6                         # EDF-VD vs AMC-rtb backends
+//	mcexp -figure 1 -variants CA-TPA,FFD@amcrtb
+//	                                        # custom (scheme, backend) cells
 //
 // The default population matches the paper's 50,000 task sets per
 // point; -sets trades accuracy for time (the ratios carry 95%
@@ -75,6 +80,7 @@ func main() {
 // config is the validated result of flag parsing.
 type config struct {
 	figures    []int
+	variants   []experiments.Variant
 	sets       int
 	seed       int64
 	workers    int
@@ -109,7 +115,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("mcexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		figure     = fs.String("figure", "all", "figure number 1..5 or 'all'")
+		figure     = fs.String("figure", "all", "figure number 1..6 or 'all'")
+		variants   = fs.String("variants", "", "comma-separated scheme[@backend] cells overriding the figure's own (e.g. CA-TPA,FFD@amcrtb)")
 		sets       = fs.Int("sets", 50000, "task sets per data point")
 		seed       = fs.Int64("seed", 2016, "base seed")
 		workers    = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -143,10 +150,19 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		cfg.figures = experiments.Figures
 	} else {
 		n, err := strconv.Atoi(*figure)
-		if err != nil || n < 1 || n > 5 {
-			return nil, &usageError{"-figure", strconv.Quote(*figure), "want a figure number 1..5 or 'all'"}
+		if err != nil || n < 1 || n > 6 {
+			return nil, &usageError{"-figure", strconv.Quote(*figure), "want a figure number 1..6 or 'all'"}
 		}
 		cfg.figures = []int{n}
+	}
+	if *variants != "" {
+		for _, s := range strings.Split(*variants, ",") {
+			v, err := experiments.ParseVariant(strings.TrimSpace(s))
+			if err != nil {
+				return nil, &usageError{"-variants", strconv.Quote(s), err.Error()}
+			}
+			cfg.variants = append(cfg.variants, v)
+		}
 	}
 	if cfg.sets < 1 {
 		return nil, &usageError{"-sets", strconv.Itoa(cfg.sets), "need at least 1 task set per data point"}
@@ -242,8 +258,11 @@ func runFigures(ctx context.Context, cfg *config, stdout, stderr io.Writer, snap
 	for _, n := range cfg.figures {
 		sw := catpa.Figure(n, cfg.sets, cfg.seed)
 		sw.Workers = cfg.workers
+		if len(cfg.variants) > 0 {
+			sw.Variants = append([]experiments.Variant(nil), cfg.variants...)
+		}
 
-		met := runner.NewMetrics(obs.NewRegistry())
+		met := runner.NewMetrics(obs.NewRegistry(), sw.ActiveVariants()...)
 		opts := &runner.Options{Metrics: met}
 		if cfg.checkpoint != "" {
 			if err := os.MkdirAll(cfg.checkpoint, 0o755); err != nil {
@@ -285,8 +304,8 @@ func runFigures(ctx context.Context, cfg *config, stdout, stderr io.Writer, snap
 			return exitFatal
 		}
 
-		fmt.Fprintf(stderr, "%s: %d sets/point x %d points x 5 schemes in %v%s\n",
-			sw.Name, cfg.sets, len(sw.Values), elapsed, resumedNote(rep.Resumed))
+		fmt.Fprintf(stderr, "%s: %d sets/point x %d points x %d variants in %v%s\n",
+			sw.Name, cfg.sets, len(sw.Values), len(sw.ActiveVariants()), elapsed, resumedNote(rep.Resumed))
 		if err := emit(cfg, sw.Name, rep.Result, stdout, stderr); err != nil {
 			fmt.Fprintln(stderr, "mcexp:", err)
 			return exitFatal
@@ -355,6 +374,13 @@ func resumeHint(cfg *config, figure int) string {
 	fmt.Fprintf(&b, "resume with: mcexp -figure %d -sets %d -seed %d", figure, cfg.sets, cfg.seed)
 	if cfg.workers != 0 {
 		fmt.Fprintf(&b, " -workers %d", cfg.workers)
+	}
+	if len(cfg.variants) > 0 {
+		names := make([]string, len(cfg.variants))
+		for i, v := range cfg.variants {
+			names[i] = v.String()
+		}
+		fmt.Fprintf(&b, " -variants %s", strings.Join(names, ","))
 	}
 	if cfg.checkpoint != "" {
 		fmt.Fprintf(&b, " -checkpoint %s", cfg.checkpoint)

@@ -19,8 +19,10 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"sets zero", []string{"-sets", "0"}, "invalid -sets 0"},
 		{"sets negative", []string{"-sets", "-7"}, "invalid -sets -7"},
 		{"workers negative", []string{"-workers", "-1"}, "invalid -workers -1"},
-		{"figure out of range", []string{"-figure", "6"}, `invalid -figure "6"`},
+		{"figure out of range", []string{"-figure", "7"}, `invalid -figure "7"`},
 		{"figure garbage", []string{"-figure", "one"}, `invalid -figure "one"`},
+		{"variant bad scheme", []string{"-variants", "XXX"}, `invalid -variants "XXX"`},
+		{"variant bad backend", []string{"-variants", "FFD@nope"}, `invalid -variants "FFD@nope"`},
 		{"stray argument", []string{"extra"}, `invalid argument "extra"`},
 	}
 	for _, tc := range cases {
@@ -74,6 +76,22 @@ func TestRunExitCodes(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "-csv without -out") {
 		t.Errorf("stdout note missing from stderr:\n%s", errb.String())
+	}
+}
+
+// TestRunVariantsOverride: -variants replaces the figure's cells and
+// the CSV header carries the variant names.
+func TestRunVariantsOverride(t *testing.T) {
+	var out, errb strings.Builder
+	args := []string{"-figure", "6", "-sets", "2", "-csv", "-variants", "CA-TPA,CA-TPA@amcrtb"}
+	if code := run(args, &out, &errb, nil); code != exitOK {
+		t.Fatalf("variant run: exit %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "CA-TPA@amcrtb") {
+		t.Errorf("CSV lacks the amcrtb variant column:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "x 2 variants") {
+		t.Errorf("stderr does not report the variant count:\n%s", errb.String())
 	}
 }
 

@@ -7,6 +7,9 @@
 //   - CA-TPA over the EDF-VD Theorem-1 test,
 //   - FFD over the EDF-VD test,
 //   - FFD over the fixed-priority AMC-rtb test,
+//   - CA-TPA over the AMC-rtb test (the criticality-aware heuristic
+//     running atop the fixed-priority backend, possible since the
+//     pluggable-backend refactor),
 //
 // and additionally how much the classical (stronger) dual-criticality
 // EDF-VD test of Baruah et al. (2012) would add over the paper's
@@ -31,10 +34,10 @@ func main() {
 	cfg.N = catpa.IntRange{Lo: 30, Hi: 80}
 
 	fmt.Printf("dual-criticality acceptance, M=%d, %d sets/point\n\n", *cores, *sets)
-	fmt.Printf("%-6s %12s %12s %12s\n", "NSU", "EDFVD/CATPA", "EDFVD/FFD", "FP/FFD")
+	fmt.Printf("%-6s %12s %12s %12s %12s\n", "NSU", "EDFVD/CATPA", "EDFVD/FFD", "FP/FFD", "FP/CATPA")
 	for _, nsu := range []float64{0.4, 0.5, 0.6, 0.7, 0.8} {
 		cfg.NSU = nsu
-		var ca, edfFFD, fpFFD int
+		var ca, edfFFD, fpFFD, fpCA int
 		for i := 0; i < *sets; i++ {
 			ts := catpa.GenerateTaskSet(&cfg, 99, i)
 			if catpa.Partition(ts, *cores, 2, catpa.CATPA, nil).Feasible {
@@ -46,10 +49,13 @@ func main() {
 			if r, err := catpa.FPPartition(ts, *cores, catpa.FFD); err == nil && r.Feasible {
 				fpFFD++
 			}
+			if r, err := catpa.FPPartition(ts, *cores, catpa.CATPA); err == nil && r.Feasible {
+				fpCA++
+			}
 		}
 		n := float64(*sets)
-		fmt.Printf("%-6.1f %12.3f %12.3f %12.3f\n", nsu,
-			float64(ca)/n, float64(edfFFD)/n, float64(fpFFD)/n)
+		fmt.Printf("%-6.1f %12.3f %12.3f %12.3f %12.3f\n", nsu,
+			float64(ca)/n, float64(edfFFD)/n, float64(fpFFD)/n, float64(fpCA)/n)
 	}
 
 	// Single-core comparison of the two dual-criticality EDF-VD tests.

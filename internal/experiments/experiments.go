@@ -86,11 +86,22 @@ type Sweep struct {
 	Seed int64
 	// Workers bounds the worker pool; 0 selects GOMAXPROCS.
 	Workers int
-	// Schemes lists the heuristics to compare; nil selects all five.
-	Schemes []partition.Scheme
+	// Variants lists the (scheme, backend) pairs to compare; nil
+	// selects all five schemes on the default EDF-VD backend.
+	Variants []Variant
 }
 
-// Cell aggregates one (point, scheme) cell of a sweep.
+// ActiveVariants resolves the sweep's variant list: Variants when set,
+// the five default-backend schemes otherwise. Cells, metrics and
+// chart series are indexed like this list.
+func (s *Sweep) ActiveVariants() []Variant {
+	if len(s.Variants) > 0 {
+		return s.Variants
+	}
+	return DefaultVariants()
+}
+
+// Cell aggregates one (point, variant) cell of a sweep.
 type Cell struct {
 	Sched stats.Ratio
 	Usys  stats.Mean
@@ -105,8 +116,8 @@ func (c *Cell) merge(o *Cell) {
 	c.Imb.Merge(&o.Imb)
 }
 
-// Point is one X value's results across schemes (indexed like the
-// sweep's scheme list).
+// Point is one X value's results across variants (indexed like the
+// sweep's variant list).
 type Point struct {
 	X     float64
 	Cells []Cell
@@ -179,28 +190,30 @@ type RunConfig struct {
 // set index congruent to first modulo stride and accumulates into its
 // private row (and quarantine list), then signals done.
 type job struct {
-	cfg     *taskgen.Config
-	seed    int64
-	m, k    int
-	opts    *partition.Options
-	schemes []partition.Scheme
-	sets    int
-	first   int
-	stride  int
-	point   int
-	x       float64
-	hook    SetHook
-	metrics *SweepMetrics
-	row     []Cell
-	quar    *[]Quarantine
-	done    *sync.WaitGroup
+	cfg      *taskgen.Config
+	seed     int64
+	m, k     int
+	opts     *partition.Options
+	variants []Variant
+	groups   []backendGroup
+	sets     int
+	first    int
+	stride   int
+	point    int
+	x        float64
+	hook     SetHook
+	metrics  *SweepMetrics
+	row      []Cell
+	quar     *[]Quarantine
+	done     *sync.WaitGroup
 }
 
 // pool is a persistent worker pool. Each worker owns one
-// taskgen.Generator and one partition.Partitioner for its whole
-// lifetime, so the steady state of a sweep — generate, partition,
-// aggregate — performs no heap allocations regardless of how many
-// points and figures are executed. Jobs are stripes of set indices;
+// taskgen.Generator and one partition.Partitioner per analysis backend
+// for its whole lifetime, so the steady state of a sweep — generate,
+// partition, aggregate — performs no heap allocations regardless of
+// how many points and figures are executed (on backends whose analysis
+// is itself allocation-free). Jobs are stripes of set indices;
 // determinism is preserved because stripe membership depends only on
 // the worker count, not on scheduling order, and rows are merged in
 // stripe order.
@@ -221,16 +234,12 @@ func (p *pool) close() { close(p.jobs) }
 
 func (p *pool) worker() {
 	gen := taskgen.NewGenerator()
-	var part *partition.Partitioner
+	parts := make(map[string]*partition.Partitioner)
 	var evals []partition.Eval
 	for jb := range p.jobs {
-		if part == nil {
-			part = partition.New(jb.m, jb.k)
-		} else {
-			part.Reset(jb.m, jb.k)
-		}
+		armWorker(parts, &jb)
 		for set := jb.first; set < jb.sets; set += jb.stride {
-			q := runSet(gen, part, &evals, &jb, set)
+			q := runSet(gen, parts, &evals, &jb, set)
 			if m := jb.metrics; m != nil {
 				m.setsTotal.Inc()
 			}
@@ -238,26 +247,47 @@ func (p *pool) worker() {
 				continue
 			}
 			// Panic quarantine: the set counts as unschedulable for
-			// every scheme, so per-scheme totals stay exact, and the
+			// every variant, so per-variant totals stay exact, and the
 			// reproduction triple is recorded. The generator and
-			// partitioner may have been abandoned mid-update, so the
+			// partitioners may have been abandoned mid-update, so the
 			// worker re-arms with fresh scratch state before the next
 			// set.
 			*jb.quar = append(*jb.quar, *q)
-			for si := range jb.schemes {
-				jb.row[si].Sched.Add(false)
+			for vi := range jb.variants {
+				jb.row[vi].Sched.Add(false)
 			}
 			if m := jb.metrics; m != nil {
 				m.setsQuarantined.Inc()
-				for _, s := range jb.schemes {
-					m.rejected[s].Inc()
+				for vi := range jb.variants {
+					m.rejected[vi].Inc()
 				}
 			}
 			gen = taskgen.NewGenerator()
-			part = partition.New(jb.m, jb.k)
+			for name := range parts {
+				delete(parts, name)
+			}
+			armWorker(parts, &jb)
 			evals = nil
 		}
 		jb.done.Done()
+	}
+}
+
+// armWorker ensures the worker owns one correctly-dimensioned
+// Partitioner per backend group of the job, creating missing ones and
+// re-dimensioning survivors. RunContext validates every backend
+// against the registry upfront, so the lookup cannot fail here.
+func armWorker(parts map[string]*partition.Partitioner, jb *job) {
+	for _, g := range jb.groups {
+		if part, ok := parts[g.backend]; ok {
+			part.Reset(jb.m, jb.k)
+			continue
+		}
+		be, err := partition.NewBackend(g.backend)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		parts[g.backend] = partition.NewWithBackend(jb.m, jb.k, be)
 	}
 }
 
@@ -267,7 +297,7 @@ func (p *pool) worker() {
 // into the row happens only after evaluation returns, so a quarantined
 // set contributes nothing but its Sched.Add(false) markers (and its
 // rejected counters, added by the worker loop).
-func runSet(gen *taskgen.Generator, part *partition.Partitioner, evals *[]partition.Eval, jb *job, set int) (q *Quarantine) {
+func runSet(gen *taskgen.Generator, parts map[string]*partition.Partitioner, evals *[]partition.Eval, jb *job, set int) (q *Quarantine) {
 	defer func() {
 		if r := recover(); r != nil {
 			q = &Quarantine{Point: jb.point, X: jb.x, Set: set, Seed: jb.seed, Err: fmt.Sprint(r)}
@@ -276,38 +306,54 @@ func runSet(gen *taskgen.Generator, part *partition.Partitioner, evals *[]partit
 	if jb.hook != nil {
 		jb.hook.BeforeSet(jb.point, set)
 	}
+	if cap(*evals) < len(jb.variants) {
+		*evals = make([]partition.Eval, len(jb.variants))
+	} else {
+		*evals = (*evals)[:len(jb.variants)]
+	}
 	m := jb.metrics
 	if m == nil {
 		ts := gen.Generate(jb.cfg, jb.seed, set)
-		*evals = part.EvaluateAll(ts, jb.schemes, jb.opts, (*evals)[:0])
+		for _, g := range jb.groups {
+			// Prepare + Place + Summarize is exactly EvaluateAll's body,
+			// so each group's verdicts are bit-identical to EvaluateAll
+			// over its schemes; the set is prepared once per backend.
+			part := parts[g.backend]
+			part.Prepare(ts)
+			for i, s := range g.schemes {
+				part.Place(s, jb.opts)
+				(*evals)[g.idx[i]] = part.Summarize()
+			}
+		}
 	} else {
-		// Instrumented path: identical call sequence (Prepare + Place +
-		// Summarize is exactly EvaluateAll's body, so verdicts stay
-		// bit-identical), with per-stage spans accumulated into one
-		// observation per stage per set. Everything here is atomics on
-		// preallocated storage — zero allocations.
+		// Instrumented path: identical call sequence, with per-stage
+		// spans accumulated into one observation per stage per set
+		// (preparation counts as placing, as before). Everything here
+		// is atomics on preallocated storage — zero allocations.
 		sp := obs.StartSpan(m.genSeconds)
 		ts := gen.Generate(jb.cfg, jb.seed, set)
 		sp.End()
-		tp := time.Now()
-		part.Prepare(ts)
-		placing := time.Since(tp)
-		*evals = (*evals)[:0]
-		var analyzing time.Duration
-		for _, s := range jb.schemes {
-			t0 := time.Now()
-			part.Place(s, jb.opts)
-			t1 := time.Now()
-			ev := part.Summarize()
-			analyzing += time.Since(t1)
-			placing += t1.Sub(t0)
-			*evals = append(*evals, ev)
+		var placing, analyzing time.Duration
+		for _, g := range jb.groups {
+			part := parts[g.backend]
+			tp := time.Now()
+			part.Prepare(ts)
+			placing += time.Since(tp)
+			for i, s := range g.schemes {
+				t0 := time.Now()
+				part.Place(s, jb.opts)
+				t1 := time.Now()
+				ev := part.Summarize()
+				analyzing += time.Since(t1)
+				placing += t1.Sub(t0)
+				(*evals)[g.idx[i]] = ev
+			}
 		}
 		m.partSeconds.Observe(placing)
 		m.anaSeconds.Observe(analyzing)
 	}
-	for si := range jb.schemes {
-		ev, cell := &(*evals)[si], &jb.row[si]
+	for vi := range jb.variants {
+		ev, cell := &(*evals)[vi], &jb.row[vi]
 		cell.Sched.Add(ev.Feasible)
 		if ev.Feasible {
 			cell.Usys.Add(ev.Usys)
@@ -316,9 +362,9 @@ func runSet(gen *taskgen.Generator, part *partition.Partitioner, evals *[]partit
 		}
 		if m != nil {
 			if ev.Feasible {
-				m.accepted[jb.schemes[si]].Inc()
+				m.accepted[vi].Inc()
 			} else {
-				m.rejected[jb.schemes[si]].Inc()
+				m.rejected[vi].Inc()
 			}
 		}
 	}
@@ -347,10 +393,11 @@ func (s *Sweep) RunContext(ctx context.Context, cfg *RunConfig) (*Result, error)
 	if cfg == nil {
 		cfg = &RunConfig{}
 	}
-	schemes := s.Schemes
-	if len(schemes) == 0 {
-		schemes = partition.Schemes
+	variants := s.ActiveVariants()
+	if err := s.validateVariants(variants); err != nil {
+		return nil, err
 	}
+	groups := buildGroups(variants)
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -367,7 +414,7 @@ func (s *Sweep) RunContext(ctx context.Context, cfg *RunConfig) (*Result, error)
 			return res, err
 		}
 		var quar []Quarantine
-		res.Points[pi], quar = s.runPoint(pl, pi, x, schemes, workers, cfg.Hook, cfg.Metrics)
+		res.Points[pi], quar = s.runPoint(pl, pi, x, variants, groups, workers, cfg.Hook, cfg.Metrics)
 		res.Quarantined = append(res.Quarantined, quar...)
 		if cfg.OnPoint != nil {
 			cfg.OnPoint(pi, &res.Points[pi], quar)
@@ -376,12 +423,45 @@ func (s *Sweep) RunContext(ctx context.Context, cfg *RunConfig) (*Result, error)
 	return res, nil
 }
 
+// validateVariants checks every variant's backend against the
+// registry and every sweep point's K against the backend's level
+// bound, so misconfiguration surfaces as one error before any worker
+// runs (a K overflow inside the pool would crash the process, not
+// quarantine).
+func (s *Sweep) validateVariants(variants []Variant) error {
+	backends := make(map[string]partition.Backend)
+	for _, v := range variants {
+		name := v.backendName()
+		if _, ok := backends[name]; ok {
+			continue
+		}
+		be, err := partition.NewBackend(name)
+		if err != nil {
+			return fmt.Errorf("experiments: variant %s: %v", v, err)
+		}
+		backends[name] = be
+	}
+	for _, x := range s.Values {
+		params := DefaultParams()
+		if s.Apply != nil {
+			s.Apply(&params, x)
+		}
+		for name, be := range backends {
+			if maxK := be.MaxLevels(); maxK > 0 && params.K > maxK {
+				return fmt.Errorf("experiments: point %s=%v needs K=%d but backend %s supports at most K=%d",
+					s.Param, x, params.K, name, maxK)
+			}
+		}
+	}
+	return nil
+}
+
 // runPoint evaluates one X value: Sets task sets, each partitioned by
-// every scheme. The schedulability counts are exact and therefore
+// every variant. The schedulability counts are exact and therefore
 // independent of the worker count; the mean metrics use compensated
 // accumulation, so they agree across worker counts to ~1e-9 even
 // though the per-stripe summation order differs.
-func (s *Sweep) runPoint(pl *pool, pi int, x float64, schemes []partition.Scheme, workers int, hook SetHook, metrics *SweepMetrics) (Point, []Quarantine) {
+func (s *Sweep) runPoint(pl *pool, pi int, x float64, variants []Variant, groups []backendGroup, workers int, hook SetHook, metrics *SweepMetrics) (Point, []Quarantine) {
 	params := DefaultParams()
 	if s.Apply != nil {
 		s.Apply(&params, x)
@@ -402,33 +482,34 @@ func (s *Sweep) runPoint(pl *pool, pi int, x float64, schemes []partition.Scheme
 	var done sync.WaitGroup
 	done.Add(workers)
 	for w := 0; w < workers; w++ {
-		rows[w] = make([]Cell, len(schemes))
+		rows[w] = make([]Cell, len(variants))
 		pl.jobs <- job{
-			cfg:     &cfg,
-			seed:    pointSeed,
-			m:       params.M,
-			k:       params.K,
-			opts:    &opts,
-			schemes: schemes,
-			sets:    s.Sets,
-			first:   w,
-			stride:  workers,
-			point:   pi,
-			x:       x,
-			hook:    hook,
-			metrics: metrics,
-			row:     rows[w],
-			quar:    &quars[w],
-			done:    &done,
+			cfg:      &cfg,
+			seed:     pointSeed,
+			m:        params.M,
+			k:        params.K,
+			opts:     &opts,
+			variants: variants,
+			groups:   groups,
+			sets:     s.Sets,
+			first:    w,
+			stride:   workers,
+			point:    pi,
+			x:        x,
+			hook:     hook,
+			metrics:  metrics,
+			row:      rows[w],
+			quar:     &quars[w],
+			done:     &done,
 		}
 	}
 	done.Wait()
 
-	p := Point{X: x, Cells: make([]Cell, len(schemes))}
+	p := Point{X: x, Cells: make([]Cell, len(variants))}
 	var quar []Quarantine
 	for w := 0; w < workers; w++ {
-		for si := range schemes {
-			p.Cells[si].merge(&rows[w][si])
+		for vi := range variants {
+			p.Cells[vi].merge(&rows[w][vi])
 		}
 		quar = append(quar, quars[w]...)
 	}
@@ -478,20 +559,17 @@ func (c *Cell) value(m Metric) float64 {
 
 // Chart converts one metric of the result into a textplot chart.
 func (r *Result) Chart(m Metric) *textplot.Chart {
-	schemes := r.Sweep.Schemes
-	if len(schemes) == 0 {
-		schemes = partition.Schemes
-	}
+	variants := r.Sweep.ActiveVariants()
 	ch := &textplot.Chart{
 		Title:  fmt.Sprintf("%s %s", r.Sweep.Title, MetricNames[m]),
 		XLabel: r.Sweep.Param,
 		YLabel: MetricNames[m],
 		X:      r.Sweep.Values,
 	}
-	for si, scheme := range schemes {
-		series := textplot.Series{Label: scheme.String(), Y: make([]float64, len(r.Points))}
+	for vi, v := range variants {
+		series := textplot.Series{Label: v.String(), Y: make([]float64, len(r.Points))}
 		for pi := range r.Points {
-			series.Y[pi] = r.Points[pi].Cells[si].value(m)
+			series.Y[pi] = r.Points[pi].Cells[vi].value(m)
 		}
 		ch.Series = append(ch.Series, series)
 	}

@@ -12,15 +12,15 @@ import (
 // smallSweep returns a fast two-point sweep for tests.
 func smallSweep(sets, workers int) *Sweep {
 	return &Sweep{
-		Name:    "test",
-		Title:   "test sweep",
-		Param:   "NSU",
-		Values:  []float64{0.4, 0.7},
-		Apply:   func(p *Params, x float64) { p.NSU = x },
-		Sets:    sets,
-		Seed:    1,
-		Workers: workers,
-		Schemes: partition.Schemes,
+		Name:     "test",
+		Title:    "test sweep",
+		Param:    "NSU",
+		Values:   []float64{0.4, 0.7},
+		Apply:    func(p *Params, x float64) { p.NSU = x },
+		Sets:     sets,
+		Seed:     1,
+		Workers:  workers,
+		Variants: DefaultVariants(),
 	}
 }
 

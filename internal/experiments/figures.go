@@ -3,18 +3,22 @@ package experiments
 import (
 	"fmt"
 
+	"catpa/internal/fpamc"
+	"catpa/internal/partition"
 	"catpa/internal/taskgen"
 )
 
 // Figure returns the sweep definition reproducing the given figure of
-// the paper (1..5), with the requested population size per point and
-// seed. Panics on an unknown figure number.
+// the paper (1..5) or the repository's backend-comparison extension
+// (6), with the requested population size per point and seed. Panics
+// on an unknown figure number.
 //
 //	Fig. 1: varying normalized system utilization NSU
 //	Fig. 2: varying WCET increment factor IFC
 //	Fig. 3: varying imbalance threshold alpha (CA-TPA only reacts)
 //	Fig. 4: varying core count M
 //	Fig. 5: varying criticality levels K
+//	Fig. 6: EDF-VD vs AMC-rtb analysis backends, varying NSU
 func Figure(n, sets int, seed int64) *Sweep {
 	s := &Sweep{Sets: sets, Seed: seed}
 	switch n {
@@ -38,11 +42,30 @@ func Figure(n, sets int, seed int64) *Sweep {
 		s.Name, s.Title, s.Param = "fig5", "Fig. 5: varying K", "K"
 		s.Values = []float64{2, 3, 4, 5, 6}
 		s.Apply = func(p *Params, x float64) { p.K = int(x) }
+	case 6:
+		// Not in the paper: the same heuristics under the two analysis
+		// backends, on dual-criticality populations both can analyze
+		// (AMC-rtb is dual-criticality only, and its per-task RTA fixed
+		// points want smaller sets than the paper's N ~ U[40,200]).
+		s.Name, s.Title, s.Param = "fig6", "Fig. 6: EDF-VD vs AMC-rtb backends", "NSU"
+		s.Values = []float64{0.4, 0.5, 0.6, 0.7, 0.8}
+		s.Apply = func(p *Params, x float64) {
+			p.NSU = x
+			p.K = 2
+			p.M = 4
+			p.N = taskgen.IntRange{Lo: 20, Hi: 60}
+		}
+		for _, be := range []string{"", fpamc.BackendName} {
+			for _, sch := range []partition.Scheme{partition.CATPA, partition.FFD, partition.Hybrid} {
+				s.Variants = append(s.Variants, Variant{Scheme: sch, Backend: be})
+			}
+		}
 	default:
 		panic(fmt.Sprintf("experiments: unknown figure %d", n))
 	}
 	return s
 }
 
-// Figures lists the valid figure numbers.
-var Figures = []int{1, 2, 3, 4, 5}
+// Figures lists the valid figure numbers: the paper's five plus the
+// backend-comparison extension.
+var Figures = []int{1, 2, 3, 4, 5, 6}

@@ -8,45 +8,54 @@ import (
 )
 
 // Metrics is the observability surface of the sweep worker pool: set
-// and per-scheme accept/reject counters plus per-stage duration
+// and per-variant accept/reject counters plus per-stage duration
 // histograms, all registered in one obs.Registry. Every update on the
 // hot path is an atomic on preallocated storage, so instrumentation
 // preserves the pool's steady-state 0 allocs/op guarantee (proven by
 // TestInstrumentedSetEvaluationZeroAllocs).
 //
 // The counting invariant, cross-checked against the CSV output in
-// tests: for every scheme s of a sweep,
+// tests: for every variant v of a sweep,
 //
-//	accepted(s) + rejected(s) == sweep.sets.total
+//	accepted(v) + rejected(v) == sweep.sets.total
 //
-// with quarantined sets counted as rejected for every scheme, exactly
+// with quarantined sets counted as rejected for every variant, exactly
 // mirroring how Cell.Sched counts them.
 type SweepMetrics struct {
+	variants        []Variant
 	setsTotal       *obs.Counter
 	setsQuarantined *obs.Counter
-	accepted        []*obs.Counter // indexed by partition.Scheme
-	rejected        []*obs.Counter // indexed by partition.Scheme
+	accepted        []*obs.Counter // indexed like variants
+	rejected        []*obs.Counter // indexed like variants
 	genSeconds      *obs.Histogram
 	partSeconds     *obs.Histogram
 	anaSeconds      *obs.Histogram
 }
 
 // NewSweepMetrics registers the sweep metrics in reg and returns the
-// surface. Each registry supports exactly one NewSweepMetrics call
-// (names register exactly once); use a fresh registry per run.
-func NewSweepMetrics(reg *obs.Registry) *SweepMetrics {
+// surface. The variant list must match the sweep's (ActiveVariants);
+// an empty list selects the defaults, whose metric labels are the
+// plain scheme labels ("wfd".."ca-tpa"), unchanged from when sweeps
+// had no backend axis. Each registry supports exactly one
+// NewSweepMetrics call (names register exactly once); use a fresh
+// registry per run.
+func NewSweepMetrics(reg *obs.Registry, variants ...Variant) *SweepMetrics {
+	if len(variants) == 0 {
+		variants = DefaultVariants()
+	}
 	m := &SweepMetrics{
+		variants:        variants,
 		setsTotal:       reg.Counter("sweep.sets.total"),
 		setsQuarantined: reg.Counter("sweep.sets.quarantined"),
 		genSeconds:      reg.Histogram("sweep.stage.generate.seconds", nil),
 		partSeconds:     reg.Histogram("sweep.stage.partition.seconds", nil),
 		anaSeconds:      reg.Histogram("sweep.stage.analyze.seconds", nil),
-		accepted:        make([]*obs.Counter, len(partition.Schemes)),
-		rejected:        make([]*obs.Counter, len(partition.Schemes)),
+		accepted:        make([]*obs.Counter, len(variants)),
+		rejected:        make([]*obs.Counter, len(variants)),
 	}
-	for _, s := range partition.Schemes {
-		m.accepted[s] = reg.LabeledCounter("sweep.sets.accepted", SchemeLabel(s))
-		m.rejected[s] = reg.LabeledCounter("sweep.sets.rejected", SchemeLabel(s))
+	for vi, v := range variants {
+		m.accepted[vi] = reg.LabeledCounter("sweep.sets.accepted", v.Label())
+		m.rejected[vi] = reg.LabeledCounter("sweep.sets.rejected", v.Label())
 	}
 	return m
 }
@@ -63,29 +72,63 @@ func (m *SweepMetrics) SetsTotal() int64 { return m.setsTotal.Value() }
 // Quarantined returns the number of quarantined task sets counted.
 func (m *SweepMetrics) Quarantined() int64 { return m.setsQuarantined.Value() }
 
-// Accepted returns the number of sets scheme s accepted (partitioned
-// feasibly); Rejected the number it rejected.
-func (m *SweepMetrics) Accepted(s partition.Scheme) int64 { return m.accepted[s].Value() }
+// variantIndex locates v in the metric's variant list, -1 when absent.
+func (m *SweepMetrics) variantIndex(v Variant) int {
+	for vi := range m.variants {
+		if m.variants[vi].Scheme == v.Scheme && m.variants[vi].backendName() == v.backendName() {
+			return vi
+		}
+	}
+	return -1
+}
 
-// Rejected returns the number of sets scheme s rejected, including
-// quarantined sets.
-func (m *SweepMetrics) Rejected(s partition.Scheme) int64 { return m.rejected[s].Value() }
+// Accepted returns the number of sets scheme s (on the default
+// backend) accepted, i.e. partitioned feasibly; Rejected the number it
+// rejected. The variant-addressed accessors cover non-default
+// backends.
+func (m *SweepMetrics) Accepted(s partition.Scheme) int64 {
+	return m.AcceptedVariant(Variant{Scheme: s})
+}
+
+// Rejected returns the number of sets scheme s (on the default
+// backend) rejected, including quarantined sets.
+func (m *SweepMetrics) Rejected(s partition.Scheme) int64 {
+	return m.RejectedVariant(Variant{Scheme: s})
+}
+
+// AcceptedVariant returns the number of sets variant v accepted, or 0
+// when v is not part of the sweep.
+func (m *SweepMetrics) AcceptedVariant(v Variant) int64 {
+	if vi := m.variantIndex(v); vi >= 0 {
+		return m.accepted[vi].Value()
+	}
+	return 0
+}
+
+// RejectedVariant returns the number of sets variant v rejected
+// (including quarantined sets), or 0 when v is not part of the sweep.
+func (m *SweepMetrics) RejectedVariant(v Variant) int64 {
+	if vi := m.variantIndex(v); vi >= 0 {
+		return m.rejected[vi].Value()
+	}
+	return 0
+}
 
 // AddResumedPoint folds a checkpointed point's exact counts into the
 // counters: the fallback restoration path for journals whose embedded
 // metrics snapshot is missing or was dropped as torn. cells must be
-// indexed like schemes (the sweep's scheme list).
-func (m *SweepMetrics) AddResumedPoint(schemes []partition.Scheme, cells []Cell, quarantined int) {
+// indexed like the metric's variant list (the sweep's ActiveVariants).
+func (m *SweepMetrics) AddResumedPoint(cells []Cell, quarantined int) {
 	if len(cells) > 0 {
 		m.setsTotal.Add(cells[0].Sched.N())
 	}
-	for si, s := range schemes {
-		if si >= len(cells) {
+	for vi := range m.variants {
+		if vi >= len(cells) {
 			break
 		}
-		hits := cells[si].Sched.Hits()
-		m.accepted[s].Add(hits)
-		m.rejected[s].Add(cells[si].Sched.N() - hits)
+		hits := cells[vi].Sched.Hits()
+		m.accepted[vi].Add(hits)
+		m.rejected[vi].Add(cells[vi].Sched.N() - hits)
 	}
 	m.setsQuarantined.Add(int64(quarantined))
 }

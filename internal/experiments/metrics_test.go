@@ -145,34 +145,95 @@ func TestInstrumentedSetEvaluationZeroAllocs(t *testing.T) {
 	cfg := params.genConfig()
 	opts := partition.Options{Alpha: params.Alpha}
 	m := NewSweepMetrics(obs.NewRegistry())
+	variants := DefaultVariants()
 	jb := job{
-		cfg:     &cfg,
-		seed:    7,
-		m:       params.M,
-		k:       params.K,
-		opts:    &opts,
-		schemes: partition.Schemes,
-		sets:    1 << 20,
-		metrics: m,
-		row:     make([]Cell, len(partition.Schemes)),
+		cfg:      &cfg,
+		seed:     7,
+		m:        params.M,
+		k:        params.K,
+		opts:     &opts,
+		variants: variants,
+		groups:   buildGroups(variants),
+		sets:     1 << 20,
+		metrics:  m,
+		row:      make([]Cell, len(variants)),
 	}
 	gen := taskgen.NewGenerator()
-	part := partition.New(jb.m, jb.k)
+	parts := make(map[string]*partition.Partitioner)
+	armWorker(parts, &jb)
 	var evals []partition.Eval
 	// Warm up across the N range so every amortized buffer reaches its
 	// steady-state size, then revisit an already-seen set index (the
 	// same discipline as the taskgen steady-state test).
 	for set := 0; set < 64; set++ {
-		if q := runSet(gen, part, &evals, &jb, set); q != nil {
+		if q := runSet(gen, parts, &evals, &jb, set); q != nil {
 			t.Fatalf("unexpected quarantine: %v", q)
 		}
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if q := runSet(gen, part, &evals, &jb, 3); q != nil {
+		if q := runSet(gen, parts, &evals, &jb, 3); q != nil {
 			t.Fatalf("unexpected quarantine: %v", q)
 		}
 	})
 	if allocs != 0 {
 		t.Fatalf("instrumented runSet allocates %v times per set, want 0", allocs)
+	}
+}
+
+// TestVariantAccessorsAndResume exercises the variant-addressed
+// counter accessors and the checkpoint fallback path directly: resumed
+// cells restore exact per-variant totals, unknown variants read zero.
+func TestVariantAccessorsAndResume(t *testing.T) {
+	variants := []Variant{
+		{Scheme: partition.CATPA},
+		{Scheme: partition.CATPA, Backend: "amcrtb"},
+	}
+	m := NewSweepMetrics(obs.NewRegistry(), variants...)
+
+	cells := make([]Cell, len(variants))
+	for i := 0; i < 10; i++ {
+		cells[0].Sched.Add(i < 7)
+		cells[1].Sched.Add(i < 4)
+	}
+	m.AddResumedPoint(cells, 2)
+
+	if got := m.SetsTotal(); got != 10 {
+		t.Errorf("SetsTotal = %d, want 10", got)
+	}
+	if got := m.Quarantined(); got != 2 {
+		t.Errorf("Quarantined = %d, want 2", got)
+	}
+	if a, r := m.AcceptedVariant(variants[0]), m.RejectedVariant(variants[0]); a != 7 || r != 3 {
+		t.Errorf("default variant: accepted %d rejected %d, want 7/3", a, r)
+	}
+	if a, r := m.AcceptedVariant(variants[1]), m.RejectedVariant(variants[1]); a != 4 || r != 6 {
+		t.Errorf("amcrtb variant: accepted %d rejected %d, want 4/6", a, r)
+	}
+	// The scheme-addressed accessors resolve to the default variant.
+	if got := m.Accepted(partition.CATPA); got != 7 {
+		t.Errorf("Accepted(CATPA) = %d, want 7", got)
+	}
+	// A variant outside the sweep reads zero, not a panic or mix-up.
+	other := Variant{Scheme: partition.WFD}
+	if m.AcceptedVariant(other) != 0 || m.RejectedVariant(other) != 0 {
+		t.Error("unknown variant should read 0")
+	}
+
+	// An empty resumed record (no cells) only counts quarantines.
+	m.AddResumedPoint(nil, 1)
+	if got := m.Quarantined(); got != 3 {
+		t.Errorf("Quarantined after empty record = %d, want 3", got)
+	}
+	if got := m.SetsTotal(); got != 10 {
+		t.Errorf("SetsTotal after empty record = %d, want 10", got)
+	}
+}
+
+// TestQuarantineString pins the reproduction-triple rendering the CLI
+// prints for quarantined sets.
+func TestQuarantineString(t *testing.T) {
+	q := Quarantine{Point: 1, Set: 7, Seed: 9, Err: "boom"}
+	if got, want := q.String(), "seed=9 point=1 set=7: boom"; got != want {
+		t.Errorf("Quarantine.String() = %q, want %q", got, want)
 	}
 }

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"catpa/internal/fpamc"
+	"catpa/internal/partition"
+	"catpa/internal/taskgen"
+)
+
+func TestVariantStringLabelRoundTrip(t *testing.T) {
+	cases := []struct {
+		v     Variant
+		str   string
+		label string
+	}{
+		{Variant{Scheme: partition.WFD}, "WFD", "wfd"},
+		{Variant{Scheme: partition.CATPA}, "CA-TPA", "ca-tpa"},
+		{Variant{Scheme: partition.CATPA, Backend: "edfvd"}, "CA-TPA", "ca-tpa"},
+		{Variant{Scheme: partition.FFD, Backend: "amcrtb"}, "FFD@amcrtb", "ffd-amcrtb"},
+		{Variant{Scheme: partition.CATPA, Backend: "amcrtb"}, "CA-TPA@amcrtb", "ca-tpa-amcrtb"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.str {
+			t.Errorf("%+v: String = %q, want %q", c.v, got, c.str)
+		}
+		if got := c.v.Label(); got != c.label {
+			t.Errorf("%+v: Label = %q, want %q", c.v, got, c.label)
+		}
+		back, err := ParseVariant(c.v.String())
+		if err != nil {
+			t.Errorf("%+v: ParseVariant(%q): %v", c.v, c.v.String(), err)
+			continue
+		}
+		if back.Scheme != c.v.Scheme || back.backendName() != c.v.backendName() {
+			t.Errorf("ParseVariant(%q) = %+v, want %+v", c.v.String(), back, c.v)
+		}
+	}
+	for _, bad := range []string{"", "XXX", "FFD@", "FFD@EDF-VD", "FFD@no@pe"} {
+		if v, err := ParseVariant(bad); err == nil {
+			t.Errorf("ParseVariant(%q) accepted as %+v", bad, v)
+		}
+	}
+}
+
+func TestBuildGroups(t *testing.T) {
+	variants := []Variant{
+		{Scheme: partition.CATPA},
+		{Scheme: partition.FFD, Backend: "amcrtb"},
+		{Scheme: partition.FFD},
+		{Scheme: partition.CATPA, Backend: "amcrtb"},
+	}
+	groups := buildGroups(variants)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if groups[0].backend != "edfvd" || groups[1].backend != "amcrtb" {
+		t.Fatalf("group backends = %s, %s", groups[0].backend, groups[1].backend)
+	}
+	if got, want := groups[0].idx, []int{0, 2}; got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("edfvd idx = %v, want %v", got, want)
+	}
+	if got, want := groups[1].idx, []int{1, 3}; got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("amcrtb idx = %v, want %v", got, want)
+	}
+}
+
+// dualShrink installs small dual-criticality populations both backends
+// can analyze.
+func dualShrink(p *Params) {
+	p.M = 4
+	p.K = 2
+	p.N = taskgen.IntRange{Lo: 15, Hi: 30}
+}
+
+// TestMixedBackendSweep runs a two-backend sweep and proves (a) the
+// cell layout follows the variant list, and (b) the default-backend
+// cells are bit-identical to the same sweep run without the backend
+// axis — adding AMC-rtb variants must not perturb EDF-VD results.
+func TestMixedBackendSweep(t *testing.T) {
+	mk := func(variants []Variant) *Sweep {
+		return &Sweep{
+			Param:    "NSU",
+			Values:   []float64{0.4, 0.7},
+			Apply:    func(p *Params, x float64) { dualShrink(p); p.NSU = x },
+			Sets:     60,
+			Seed:     5,
+			Workers:  2,
+			Variants: variants,
+		}
+	}
+	mixed := mk([]Variant{
+		{Scheme: partition.CATPA},
+		{Scheme: partition.CATPA, Backend: fpamc.BackendName},
+		{Scheme: partition.FFD},
+		{Scheme: partition.FFD, Backend: fpamc.BackendName},
+	})
+	plain := mk([]Variant{{Scheme: partition.CATPA}, {Scheme: partition.FFD}})
+	rm, rp := mixed.Run(), plain.Run()
+	for pi := range rm.Points {
+		if len(rm.Points[pi].Cells) != 4 {
+			t.Fatalf("point %d: cells = %d, want 4", pi, len(rm.Points[pi].Cells))
+		}
+		// Variant positions 0, 2 of the mixed sweep are the plain sweep.
+		for i, vi := range []int{0, 2} {
+			if rm.Points[pi].Cells[vi] != rp.Points[pi].Cells[i] {
+				t.Errorf("point %d: default-backend cell %d differs from plain sweep:\n%+v\n%+v",
+					pi, vi, rm.Points[pi].Cells[vi], rp.Points[pi].Cells[i])
+			}
+		}
+		// The AMC-rtb variants must evaluate the same populations.
+		for _, vi := range []int{1, 3} {
+			if n := rm.Points[pi].Cells[vi].Sched.N(); n != 60 {
+				t.Errorf("point %d variant %d: n = %d, want 60", pi, vi, n)
+			}
+		}
+	}
+	// Chart series labels carry the backend suffix.
+	ch := rm.Chart(SchedRatio)
+	if got := ch.Series[1].Label; got != "CA-TPA@amcrtb" {
+		t.Errorf("series label = %q, want CA-TPA@amcrtb", got)
+	}
+}
+
+// TestSweepRejectsBadVariants: unknown backends and K overflows
+// surface as RunContext errors before any evaluation.
+func TestSweepRejectsBadVariants(t *testing.T) {
+	s := &Sweep{
+		Param:    "NSU",
+		Values:   []float64{0.5},
+		Apply:    func(p *Params, x float64) { dualShrink(p); p.NSU = x },
+		Sets:     1,
+		Seed:     1,
+		Workers:  1,
+		Variants: []Variant{{Scheme: partition.FFD, Backend: "nosuch"}},
+	}
+	if _, err := s.RunContext(context.Background(), nil); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	s.Variants = []Variant{{Scheme: partition.FFD, Backend: fpamc.BackendName}}
+	s.Apply = func(p *Params, x float64) { p.K = 4 } // exceeds AMC's dual-criticality bound
+	if _, err := s.RunContext(context.Background(), nil); err == nil {
+		t.Error("K=4 on the dual-criticality backend accepted")
+	}
+}
+
+// TestFig6Definition pins the backend-comparison figure's shape.
+func TestFig6Definition(t *testing.T) {
+	s := Figure(6, 10, 1)
+	if len(s.Variants) != 6 {
+		t.Fatalf("fig6 variants = %d, want 6", len(s.Variants))
+	}
+	p := DefaultParams()
+	s.Apply(&p, 0.6)
+	if p.K != 2 || p.M != 4 || p.NSU != 0.6 {
+		t.Errorf("fig6 Apply: %+v", p)
+	}
+	seen := map[string]bool{}
+	for _, v := range s.Variants {
+		seen[v.String()] = true
+	}
+	for _, want := range []string{"CA-TPA", "FFD", "Hybrid", "CA-TPA@amcrtb", "FFD@amcrtb", "Hybrid@amcrtb"} {
+		if !seen[want] {
+			t.Errorf("fig6 missing variant %s (has %v)", want, seen)
+		}
+	}
+}

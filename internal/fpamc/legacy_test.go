@@ -1,0 +1,265 @@
+package fpamc
+
+import (
+	"math"
+	"testing"
+
+	"catpa/internal/mc"
+	"catpa/internal/partition"
+)
+
+// legacyPartition is the pre-backend fpamc.Partition verbatim: the
+// 158-line parallel universe of FFD/WFD/BFD/Hybrid shells this PR
+// deleted in favor of the unified allocator. It lives on in the test
+// binary only, as the reference implementation FuzzBackendAgreement
+// locks the unified path against — verdicts, mappings and metrics must
+// stay identical before the duplication is allowed to die.
+func legacyPartition(ts *mc.TaskSet, m int, scheme partition.Scheme) (*partition.Result, error) {
+	if maxCrit := ts.MaxCrit(); maxCrit > 2 {
+		return nil, errLegacy("criticality above 2")
+	}
+	if m < 1 {
+		return nil, errLegacy("invalid core count")
+	}
+	var order []int
+	switch scheme {
+	case partition.WFD, partition.FFD, partition.BFD, partition.Hybrid:
+		order = mc.SortByMaxUtil(ts)
+	default:
+		return nil, errLegacy("unsupported scheme")
+	}
+
+	cores := make([][]mc.Task, m)
+	taskIdx := make([][]int, m)
+	loads := make([]float64, m)
+	assign := make([]int, ts.Len())
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	fits := func(subset []mc.Task, t *mc.Task) bool {
+		trial := make([]mc.Task, 0, len(subset)+1)
+		trial = append(trial, subset...)
+		trial = append(trial, *t)
+		return Schedulable(trial)
+	}
+
+	place := func(ti int) bool {
+		t := &ts.Tasks[ti]
+		pick, hybridScheme := -1, scheme
+		if scheme == partition.Hybrid {
+			if t.Crit >= 2 {
+				hybridScheme = partition.WFD
+			} else {
+				hybridScheme = partition.FFD
+			}
+		}
+		var pickLoad float64
+		for c := 0; c < m; c++ {
+			if !fits(cores[c], t) {
+				continue
+			}
+			switch hybridScheme {
+			case partition.FFD:
+				pick = c
+			case partition.BFD:
+				if pick < 0 || loads[c] > pickLoad+Eps {
+					pick, pickLoad = c, loads[c]
+				}
+				continue
+			case partition.WFD:
+				if pick < 0 || loads[c] < pickLoad-Eps {
+					pick, pickLoad = c, loads[c]
+				}
+				continue
+			}
+			if pick >= 0 && hybridScheme == partition.FFD {
+				break
+			}
+		}
+		if pick < 0 {
+			return false
+		}
+		cores[pick] = append(cores[pick], t.Clone())
+		taskIdx[pick] = append(taskIdx[pick], ti)
+		loads[pick] += t.MaxUtil()
+		assign[ti] = pick
+		return true
+	}
+
+	run := func(filter func(*mc.Task) bool) int {
+		for _, ti := range order {
+			if !filter(&ts.Tasks[ti]) {
+				continue
+			}
+			if !place(ti) {
+				return ti
+			}
+		}
+		return -1
+	}
+
+	failed := -1
+	if scheme == partition.Hybrid {
+		if failed = run(func(t *mc.Task) bool { return t.Crit >= 2 }); failed < 0 {
+			failed = run(func(t *mc.Task) bool { return t.Crit < 2 })
+		}
+	} else {
+		failed = run(func(*mc.Task) bool { return true })
+	}
+
+	res := &partition.Result{
+		Scheme:     scheme,
+		M:          m,
+		K:          2,
+		Feasible:   failed < 0,
+		Assignment: assign,
+		FailedTask: failed,
+		Cores:      make([]partition.CoreInfo, m),
+	}
+	for c := 0; c < m; c++ {
+		res.Cores[c] = partition.CoreInfo{
+			Tasks:        taskIdx[c],
+			Util:         loads[c],
+			OwnLevelLoad: loads[c],
+		}
+	}
+	legacyFinishMetrics(res)
+	return res, nil
+}
+
+type errLegacy string
+
+func (e errLegacy) Error() string { return "fpamc(legacy): " + string(e) }
+
+func legacyFinishMetrics(r *partition.Result) {
+	if len(r.Cores) == 0 {
+		return
+	}
+	maxU, minU, sum := math.Inf(-1), math.Inf(1), 0.0
+	for i := range r.Cores {
+		u := r.Cores[i].Util
+		sum += u
+		if u > maxU {
+			maxU = u
+		}
+		if u < minU {
+			minU = u
+		}
+	}
+	r.Usys = maxU
+	r.Uavg = sum / float64(len(r.Cores))
+	if maxU > Eps {
+		r.Imbalance = (maxU - minU) / maxU
+	}
+}
+
+// decodeDualSet turns fuzz bytes into a valid dual-criticality task
+// set, 6 bytes per task (the internal/edfvd fuzz encoding restricted
+// to maxK = 2), or nil when data is too short.
+func decodeDualSet(t *testing.T, data []byte) *mc.TaskSet {
+	t.Helper()
+	const bytesPerTask = 6
+	n := len(data) / bytesPerTask
+	if n == 0 {
+		return nil
+	}
+	if n > 32 {
+		n = 32 // keep each RTA fixed point cheap
+	}
+	ts := mc.NewTaskSetCap(n)
+	for i := 0; i < n; i++ {
+		b := data[i*bytesPerTask:]
+		p16 := uint16(b[0]) | uint16(b[1])<<8
+		u16 := uint16(b[2]) | uint16(b[3])<<8
+		period := float64(1 + p16%2000)
+		u1 := float64(1+u16%999) / 1000
+		crit := 1 + int(b[4])%2
+		growth := 1 + float64(b[5]%129)/64
+		w := make([]float64, crit)
+		w[0] = u1 * period
+		for k := 1; k < crit; k++ {
+			w[k] = math.Min(w[k-1]*growth, period)
+		}
+		ts.Tasks = append(ts.Tasks, mc.MustTask(i+1, "", period, w...))
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("decoder produced invalid task set: %v", err)
+	}
+	return ts
+}
+
+// FuzzBackendAgreement locks the unified allocator running atop the
+// AMC-rtb backend against the deleted legacy shells: on arbitrary
+// dual-criticality sets, every legacy-supported scheme must produce an
+// identical verdict, failure point, task-to-core mapping, per-core
+// subsets/loads and aggregate metrics. Exact float equality is
+// intentional — both paths accumulate the same own-level load sums in
+// the same order, so any divergence is a real protocol regression, not
+// rounding noise.
+func FuzzBackendAgreement(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(2))
+	seed := make([]byte, 0, 16*6)
+	for i := 0; i < 16; i++ {
+		seed = append(seed,
+			byte(37*i), byte(i), // period
+			byte(200+13*i), byte(2), // u1
+			byte(i),   // crit
+			byte(5*i)) // growth
+	}
+	f.Add(seed, uint8(1), uint8(4))
+	f.Add(seed, uint8(3), uint8(3))
+
+	schemes := []partition.Scheme{partition.WFD, partition.FFD, partition.BFD, partition.Hybrid}
+	f.Fuzz(func(t *testing.T, data []byte, schemeSel, mSel uint8) {
+		ts := decodeDualSet(t, data)
+		if ts == nil {
+			return
+		}
+		scheme := schemes[int(schemeSel)%len(schemes)]
+		m := 1 + int(mSel)%8
+
+		want, err := legacyPartition(ts, m, scheme)
+		if err != nil {
+			t.Fatalf("legacy: %v", err)
+		}
+		got, err := Partition(ts, m, scheme)
+		if err != nil {
+			t.Fatalf("unified: %v", err)
+		}
+
+		if got.Feasible != want.Feasible || got.FailedTask != want.FailedTask {
+			t.Fatalf("%v m=%d: verdict (%v, failed %d) != legacy (%v, failed %d)",
+				scheme, m, got.Feasible, got.FailedTask, want.Feasible, want.FailedTask)
+		}
+		if got.M != want.M || got.K != want.K || got.Scheme != want.Scheme {
+			t.Fatalf("%v m=%d: header (%v, %d, %d) != legacy (%v, %d, %d)",
+				scheme, m, got.Scheme, got.M, got.K, want.Scheme, want.M, want.K)
+		}
+		for i := range want.Assignment {
+			if got.Assignment[i] != want.Assignment[i] {
+				t.Fatalf("%v m=%d: task %d on core %d, legacy %d",
+					scheme, m, i, got.Assignment[i], want.Assignment[i])
+			}
+		}
+		for c := range want.Cores {
+			gc, wc := &got.Cores[c], &want.Cores[c]
+			if len(gc.Tasks) != len(wc.Tasks) {
+				t.Fatalf("%v m=%d core %d: %d tasks, legacy %d", scheme, m, c, len(gc.Tasks), len(wc.Tasks))
+			}
+			for i := range wc.Tasks {
+				if gc.Tasks[i] != wc.Tasks[i] {
+					t.Fatalf("%v m=%d core %d: allocation order %v, legacy %v", scheme, m, c, gc.Tasks, wc.Tasks)
+				}
+			}
+			if gc.Util != wc.Util || gc.OwnLevelLoad != wc.OwnLevelLoad {
+				t.Fatalf("%v m=%d core %d: load (%v, %v), legacy (%v, %v)",
+					scheme, m, c, gc.Util, gc.OwnLevelLoad, wc.Util, wc.OwnLevelLoad)
+			}
+		}
+		if got.Usys != want.Usys || got.Uavg != want.Uavg || got.Imbalance != want.Imbalance {
+			t.Fatalf("%v m=%d: metrics (%v, %v, %v), legacy (%v, %v, %v)",
+				scheme, m, got.Usys, got.Uavg, got.Imbalance, want.Usys, want.Uavg, want.Imbalance)
+		}
+	})
+}

@@ -8,17 +8,135 @@ import (
 	"catpa/internal/partition"
 )
 
+// BackendName is the registry name of the AMC-rtb analysis backend.
+const BackendName = "amcrtb"
+
+func init() {
+	partition.RegisterBackend(BackendName, func() partition.Backend { return &Backend{} })
+}
+
+// Backend adapts the AMC-rtb response-time analysis to the allocator's
+// per-core schedulability protocol, so every heuristic — including
+// CA-TPA, which the old fixed-priority shells never supported — runs
+// atop partitioned fixed-priority AMC through the one allocation shell
+// in internal/partition.
+//
+// A response-time analysis has no single utilization figure, so the
+// core-utilization metric this backend reports (ProbeUtil, CoreUtil,
+// reflected into CoreInfo.Util) is the Eq. 4 own-level load
+// sum MaxUtil — exactly what the deleted fpamc.Partition shells
+// reported. That makes the probe increment core-independent (always
+// the candidate's MaxUtil), so CA-TPA's minimum-increment search
+// degenerates to first-feasible under its contribution ordering; the
+// ordering itself and the imbalance fallback remain active (see
+// DESIGN.md Section 11). Unlike the EDF-VD backend, the RTA fixed
+// points iterate over a trial task slice, so probes are cheap but not
+// allocation-free in the general case (the trial buffer is reused and
+// only grows).
+type Backend struct {
+	m  int
+	ts *mc.TaskSet
+
+	cores [][]mc.Task // per-core placed subsets, in allocation order
+	loads []float64   // per-core Eq. 4 own-level load (sum MaxUtil)
+	trial []mc.Task   // reusable probe buffer for Schedulable
+}
+
+// Name implements partition.Backend.
+func (b *Backend) Name() string { return BackendName }
+
+// MaxLevels implements partition.Backend: AMC is dual-criticality.
+func (b *Backend) MaxLevels() int { return 2 }
+
+// Reset implements partition.Backend.
+func (b *Backend) Reset(m, k int) {
+	b.m = m
+	if cap(b.cores) < m {
+		cores := make([][]mc.Task, m)
+		copy(cores, b.cores)
+		b.cores = cores
+	} else {
+		b.cores = b.cores[:m]
+	}
+	if cap(b.loads) < m {
+		b.loads = make([]float64, m)
+	} else {
+		b.loads = b.loads[:m]
+	}
+}
+
+// Prepare implements partition.Backend.
+func (b *Backend) Prepare(ts *mc.TaskSet) { b.ts = ts }
+
+// Begin implements partition.Backend.
+func (b *Backend) Begin() {
+	for c := 0; c < b.m; c++ {
+		b.cores[c] = b.cores[c][:0]
+		b.loads[c] = 0
+	}
+}
+
+// FeasibleWith implements partition.Backend: it reports whether core
+// c's subset plus task ti passes the AMC-rtb response-time test
+// (Eqs. rtb-LO/rtb-HI), the fixed-priority counterpart of the
+// Theorem-1 screens.
+func (b *Backend) FeasibleWith(c, ti int) bool {
+	b.trial = append(b.trial[:0], b.cores[c]...)
+	b.trial = append(b.trial, b.ts.Tasks[ti])
+	return Schedulable(b.trial)
+}
+
+// ProbeUtil implements partition.Backend: the own-level load of core c
+// with task ti added, +Inf when the extended subset fails AMC-rtb.
+// The worst flag is ignored — the load metric has only one reading.
+func (b *Backend) ProbeUtil(c, ti int, worst bool) float64 {
+	if !b.FeasibleWith(c, ti) {
+		return math.Inf(1)
+	}
+	return b.loads[c] + b.ts.Tasks[ti].MaxUtil()
+}
+
+// KeepProbe implements partition.Backend. Probes carry no analysis
+// state worth caching — Place recomputes the load sum exactly.
+func (b *Backend) KeepProbe() {}
+
+// UtilFloor implements partition.Backend: the load metric is exact
+// whenever the probe is feasible, so the floor is the probe value
+// itself (without the feasibility check).
+func (b *Backend) UtilFloor(c, ti int) float64 {
+	return b.loads[c] + b.ts.Tasks[ti].MaxUtil()
+}
+
+// Place implements partition.Backend.
+func (b *Backend) Place(c, ti int, probed bool) {
+	b.cores[c] = append(b.cores[c], b.ts.Tasks[ti].Clone())
+	b.loads[c] += b.ts.Tasks[ti].MaxUtil()
+}
+
+// OwnLoad implements partition.Backend.
+func (b *Backend) OwnLoad(c int) float64 { return b.loads[c] }
+
+// CoreUtil implements partition.Backend; worst is ignored (one
+// reading, see ProbeUtil).
+func (b *Backend) CoreUtil(c int, worst bool) float64 { return b.loads[c] }
+
+// ReportInto implements partition.Backend. FeasibleK and Lambda are
+// EDF-VD notions with no AMC counterpart; they stay zero and empty.
+func (b *Backend) ReportInto(c int, ci *partition.CoreInfo) {
+	ci.Util = b.loads[c]
+	ci.FeasibleK = 0
+	ci.Lambda = ci.Lambda[:0]
+}
+
 // Partition allocates a dual-criticality task set onto m cores under
-// partitioned fixed-priority AMC scheduling, using the classical
-// decreasing-utilization heuristics with the AMC-rtb schedulability
-// test (Kelly, Aydin, Zhao style). Supported schemes: WFD, FFD, BFD
-// and Hybrid (CA-TPA is EDF-VD-specific — its core-utilization metric
-// has no fixed-priority counterpart).
+// partitioned fixed-priority AMC scheduling: the unified allocator of
+// internal/partition running atop the AMC-rtb backend. All five
+// schemes are supported, including CA-TPA (see Backend for how its
+// probe metric degenerates).
 //
 // The result reuses partition.Result; core utilizations are the Eq. 4
 // own-level loads (a response-time analysis has no single utilization
-// figure), so only Feasible, Assignment, Cores[i].Tasks and
-// Cores[i].OwnLevelLoad are meaningful.
+// figure), so FeasibleK and Lambda are not populated.
 func Partition(ts *mc.TaskSet, m int, scheme partition.Scheme) (*partition.Result, error) {
 	if maxCrit := ts.MaxCrit(); maxCrit > 2 {
 		return nil, fmt.Errorf("fpamc: task set has criticality %d; AMC-rtb partitioning is dual-criticality", maxCrit)
@@ -26,133 +144,10 @@ func Partition(ts *mc.TaskSet, m int, scheme partition.Scheme) (*partition.Resul
 	if m < 1 {
 		return nil, fmt.Errorf("fpamc: invalid core count %d", m)
 	}
-	var order []int
 	switch scheme {
-	case partition.WFD, partition.FFD, partition.BFD, partition.Hybrid:
-		order = mc.SortByMaxUtil(ts)
+	case partition.WFD, partition.FFD, partition.BFD, partition.Hybrid, partition.CATPA:
 	default:
 		return nil, fmt.Errorf("fpamc: unsupported scheme %v", scheme)
 	}
-
-	cores := make([][]mc.Task, m)
-	taskIdx := make([][]int, m)
-	loads := make([]float64, m)
-	assign := make([]int, ts.Len())
-	for i := range assign {
-		assign[i] = -1
-	}
-
-	place := func(ti int) bool {
-		t := &ts.Tasks[ti]
-		pick, hybridScheme := -1, scheme
-		if scheme == partition.Hybrid {
-			if t.Crit >= 2 {
-				hybridScheme = partition.WFD
-			} else {
-				hybridScheme = partition.FFD
-			}
-		}
-		var pickLoad float64
-		for c := 0; c < m; c++ {
-			if !fits(cores[c], t) {
-				continue
-			}
-			switch hybridScheme {
-			case partition.FFD:
-				pick = c
-			case partition.BFD:
-				if pick < 0 || loads[c] > pickLoad+Eps {
-					pick, pickLoad = c, loads[c]
-				}
-				continue
-			case partition.WFD:
-				if pick < 0 || loads[c] < pickLoad-Eps {
-					pick, pickLoad = c, loads[c]
-				}
-				continue
-			}
-			if pick >= 0 && hybridScheme == partition.FFD {
-				break
-			}
-		}
-		if pick < 0 {
-			return false
-		}
-		cores[pick] = append(cores[pick], t.Clone())
-		taskIdx[pick] = append(taskIdx[pick], ti)
-		loads[pick] += t.MaxUtil()
-		assign[ti] = pick
-		return true
-	}
-
-	run := func(filter func(*mc.Task) bool) int {
-		for _, ti := range order {
-			if !filter(&ts.Tasks[ti]) {
-				continue
-			}
-			if !place(ti) {
-				return ti
-			}
-		}
-		return -1
-	}
-
-	failed := -1
-	if scheme == partition.Hybrid {
-		if failed = run(func(t *mc.Task) bool { return t.Crit >= 2 }); failed < 0 {
-			failed = run(func(t *mc.Task) bool { return t.Crit < 2 })
-		}
-	} else {
-		failed = run(func(*mc.Task) bool { return true })
-	}
-
-	res := &partition.Result{
-		Scheme:     scheme,
-		M:          m,
-		K:          2,
-		Feasible:   failed < 0,
-		Assignment: assign,
-		FailedTask: failed,
-		Cores:      make([]partition.CoreInfo, m),
-	}
-	for c := 0; c < m; c++ {
-		res.Cores[c] = partition.CoreInfo{
-			Tasks:        taskIdx[c],
-			Util:         loads[c],
-			OwnLevelLoad: loads[c],
-		}
-	}
-	finishMetrics(res)
-	return res, nil
-}
-
-// fits reports whether the subset plus the candidate passes AMC-rtb.
-func fits(subset []mc.Task, t *mc.Task) bool {
-	trial := make([]mc.Task, 0, len(subset)+1)
-	trial = append(trial, subset...)
-	trial = append(trial, *t)
-	return Schedulable(trial)
-}
-
-// finishMetrics fills Usys/Uavg/Imbalance from the own-level loads.
-func finishMetrics(r *partition.Result) {
-	if len(r.Cores) == 0 {
-		return
-	}
-	maxU, minU, sum := math.Inf(-1), math.Inf(1), 0.0
-	for i := range r.Cores {
-		u := r.Cores[i].Util
-		sum += u
-		if u > maxU {
-			maxU = u
-		}
-		if u < minU {
-			minU = u
-		}
-	}
-	r.Usys = maxU
-	r.Uavg = sum / float64(len(r.Cores))
-	if maxU > Eps {
-		r.Imbalance = (maxU - minU) / maxU
-	}
+	return partition.NewWithBackend(m, 2, &Backend{}).Run(ts, scheme, nil), nil
 }

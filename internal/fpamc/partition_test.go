@@ -66,8 +66,38 @@ func TestPartitionRejectsBadInput(t *testing.T) {
 	if _, err := Partition(dual, 0, partition.FFD); err == nil {
 		t.Error("M=0 accepted")
 	}
-	if _, err := Partition(dual, 2, partition.CATPA); err == nil {
-		t.Error("CA-TPA accepted by the FP path")
+	if _, err := Partition(dual, 2, partition.Scheme(99)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+// TestPartitionCATPA: the unified allocator gives the FP path CA-TPA
+// for free; accepted partitions must re-verify under AMC-rtb.
+func TestPartitionCATPA(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	accepted := 0
+	for trial := 0; trial < 20; trial++ {
+		ts := dualSet(rng, 24, 0.3+rng.Float64()*0.3, 4)
+		r, err := Partition(ts, 4, partition.CATPA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Feasible {
+			continue
+		}
+		accepted++
+		for c, ci := range r.Cores {
+			var subset []mc.Task
+			for _, ti := range ci.Tasks {
+				subset = append(subset, ts.Tasks[ti])
+			}
+			if !Schedulable(subset) {
+				t.Fatalf("trial %d: core %d fails re-analysis", trial, c)
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("CA-TPA over AMC-rtb accepted nothing on easy sets")
 	}
 }
 
@@ -154,4 +184,43 @@ func TestEDFVDvsFPAcceptance(t *testing.T) {
 		t.Errorf("acceptance gap implausibly large: EDF-VD %d vs FP %d", edf, fp)
 	}
 	t.Logf("acceptance over %d sets: partitioned EDF-VD (CA-TPA) %d, partitioned FP (AMC-rtb FFD) %d", trials, edf, fp)
+}
+
+// TestBackendProtocol exercises the partition.Backend surface of the
+// AMC-rtb backend directly: identity, buffer reuse across Reset, the
+// no-op KeepProbe, and report contents.
+func TestBackendProtocol(t *testing.T) {
+	b := new(Backend)
+	if b.Name() != BackendName || b.MaxLevels() != 2 {
+		t.Fatalf("identity: name %q maxLevels %d", b.Name(), b.MaxLevels())
+	}
+	rng := rand.New(rand.NewSource(5))
+	ts := dualSet(rng, 8, 0.3, 2)
+
+	for round := 0; round < 2; round++ { // second round reuses buffers
+		b.Reset(2, 2)
+		b.Prepare(ts)
+		b.Begin()
+		if !b.FeasibleWith(0, 0) {
+			t.Fatal("empty core rejects a light task")
+		}
+		u := b.ProbeUtil(0, 0, false)
+		b.KeepProbe() // no-op by contract: probes hold no state
+		b.Place(0, 0, true)
+		if got := b.OwnLoad(0); got != u {
+			t.Errorf("round %d: OwnLoad %v != probed %v", round, got, u)
+		}
+		if b.CoreUtil(0, true) != b.CoreUtil(0, false) {
+			t.Error("amcrtb CoreUtil should not depend on the worst flag")
+		}
+		if floor := b.UtilFloor(1, 1); floor != b.ProbeUtil(1, 1, false) {
+			t.Error("UtilFloor should be exact for the load-sum metric")
+		}
+		var ci partition.CoreInfo
+		ci.Lambda = []float64{0.5} // must be cleared by ReportInto
+		b.ReportInto(0, &ci)
+		if ci.Util != b.OwnLoad(0) || ci.FeasibleK != 0 || len(ci.Lambda) != 0 {
+			t.Errorf("round %d: report %+v", round, ci)
+		}
+	}
 }

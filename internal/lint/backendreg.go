@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"catpa/internal/partition"
+)
+
+// BackendReg enforces the analysis-backend registration contract of
+// internal/partition at lint time rather than at init-panic time:
+// every name passed to partition.RegisterBackend must be a
+// compile-time constant string that satisfies
+// partition.ValidBackendName (a lowercase identifier), and each name
+// may be registered at exactly one call site across the whole module —
+// the registry panics on a duplicate, but that panic only fires once
+// both init functions are linked into the same binary, so a second
+// registration site is a latent crash the test matrix can miss. The
+// validity predicate is partition.ValidBackendName itself, so the
+// static rule and the runtime check can never drift apart.
+type BackendReg struct {
+	// PartitionPath is the import path of the partition package, whose
+	// RegisterBackend function anchors the rule.
+	PartitionPath string
+
+	// seen maps each constant backend name to its first registration
+	// site. It deliberately persists across Check calls: backend
+	// registration is a module-wide namespace (partition registers
+	// "edfvd", fpamc registers "amcrtb"), so duplicates must be caught
+	// across packages, not just within one.
+	seen map[string]token.Position
+}
+
+// Name implements Rule.
+func (*BackendReg) Name() string { return "backendreg" }
+
+// Doc implements Rule.
+func (*BackendReg) Doc() string {
+	return "backend names must be constant lowercase identifiers, each registered at one site"
+}
+
+// Check implements Rule.
+func (r *BackendReg) Check(pkg *Package, report Reporter) {
+	if r.seen == nil {
+		r.seen = make(map[string]token.Position)
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !r.isRegisterBackend(pkg, call.Fun) {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pkg.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				report(arg, "backend name passed to RegisterBackend must be a compile-time constant string")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !partition.ValidBackendName(name) {
+				report(arg, "backend name %q is malformed; names are lowercase identifiers like %q", name, "amcrtb")
+				return true
+			}
+			if first, dup := r.seen[name]; dup {
+				report(arg, "backend %q is also registered at %s; each backend may be registered exactly once", name, first)
+				return true
+			}
+			r.seen[name] = pkg.Fset.Position(arg.Pos())
+			return true
+		})
+	}
+}
+
+// isRegisterBackend reports whether fun resolves to the
+// partition.RegisterBackend function, whether spelled as a selector
+// (partition.RegisterBackend) or a bare identifier inside the
+// partition package itself.
+func (r *BackendReg) isRegisterBackend(pkg *Package, fun ast.Expr) bool {
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return false
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	return ok && fn.Name() == "RegisterBackend" &&
+		fn.Pkg() != nil && fn.Pkg().Path() == r.PartitionPath
+}

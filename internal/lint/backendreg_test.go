@@ -1,0 +1,110 @@
+package lint
+
+import "testing"
+
+func backendRegRule() []Rule {
+	return []Rule{&BackendReg{PartitionPath: "catpa/internal/partition"}}
+}
+
+func TestBackendRegFlagsBadNames(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/partition"
+
+func wire(be func() partition.Backend) {
+	partition.RegisterBackend("amcrtb", be)
+	partition.RegisterBackend("AMC", be)
+	partition.RegisterBackend("amc-rtb", be)
+	partition.RegisterBackend("2fast", be)
+	partition.RegisterBackend("", be)
+}
+`
+	findings := checkFixture(t, backendRegRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "backendreg", 7, 8, 9, 10)
+}
+
+func TestBackendRegRequiresConstantNames(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/partition"
+
+const suffix = "rtb"
+
+func wire(be func() partition.Backend, dyn string) {
+	partition.RegisterBackend("amc"+suffix, be)
+	partition.RegisterBackend(dyn, be)
+}
+`
+	// The concatenation of constants is itself constant and valid; only
+	// the dynamic name is flagged.
+	findings := checkFixture(t, backendRegRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "backendreg", 9)
+}
+
+func TestBackendRegFlagsDuplicateAcrossPackages(t *testing.T) {
+	// The registry namespace is module-wide: one rule value runs over
+	// both packages (as mclint does) and must catch the collision even
+	// though each package registers the name once.
+	srcA := `package fixa
+
+import "catpa/internal/partition"
+
+func wire(be func() partition.Backend) {
+	partition.RegisterBackend("amcrtb", be)
+}
+`
+	srcB := `package fixb
+
+import "catpa/internal/partition"
+
+func wire(be func() partition.Backend) {
+	partition.RegisterBackend("amcrtb", be)
+	partition.RegisterBackend("edfvd", be)
+}
+`
+	ld := sharedLoader(t)
+	pkgA, err := ld.CheckSource("catpa/internal/fixa", "fixa.go", srcA)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	pkgB, err := ld.CheckSource("catpa/internal/fixb", "fixb.go", srcB)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	runner := &Runner{Rules: backendRegRule(), KnownRules: RuleNames("catpa")}
+	findings := runner.Run([]*Package{pkgA, pkgB})
+	wantLines(t, findings, "backendreg", 6)
+	for _, f := range findings {
+		if f.Rule == "backendreg" && f.Pos.Filename != "fixb.go" {
+			t.Errorf("duplicate flagged in %s, want fixb.go", f.Pos.Filename)
+		}
+	}
+}
+
+func TestBackendRegIgnoresOtherFunctions(t *testing.T) {
+	// A same-named function from another package must not trip the rule.
+	src := `package fix
+
+func RegisterBackend(name string, f func()) {}
+
+func wire(dyn string) {
+	RegisterBackend(dyn, nil)
+}
+`
+	findings := checkFixture(t, backendRegRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "backendreg")
+}
+
+func TestBackendRegSuppressible(t *testing.T) {
+	src := `package fix
+
+import "catpa/internal/partition"
+
+func wire(be func() partition.Backend, dyn string) {
+	//lint:ignore mclint/backendreg name comes from a validated plugin manifest
+	partition.RegisterBackend(dyn, be)
+}
+`
+	findings := checkFixture(t, backendRegRule(), "catpa/internal/fix", "fix.go", src)
+	wantLines(t, findings, "backendreg")
+}

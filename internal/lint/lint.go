@@ -96,6 +96,7 @@ func DefaultRules(modulePath string) []Rule {
 			modulePath + "/internal/experiments",
 		}},
 		&ObsName{ObsPath: modulePath + "/internal/obs"},
+		&BackendReg{PartitionPath: modulePath + "/internal/partition"},
 	}
 }
 

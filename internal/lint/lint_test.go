@@ -178,12 +178,12 @@ func TestDefaultRules(t *testing.T) {
 			t.Errorf("rule %s has no doc", r.Name())
 		}
 	}
-	for _, want := range []string{"floateq", "globalrand", "rawtask", "panicmsg", "feasdoc", "ctxfirst", "obsname"} {
+	for _, want := range []string{"floateq", "globalrand", "rawtask", "panicmsg", "feasdoc", "ctxfirst", "obsname", "backendreg"} {
 		if !names[want] {
 			t.Errorf("missing default rule %s", want)
 		}
 	}
-	if len(rules) != 7 {
-		t.Errorf("got %d default rules, want 7", len(rules))
+	if len(rules) != 8 {
+		t.Errorf("got %d default rules, want 8", len(rules))
 	}
 }

@@ -1,0 +1,173 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"catpa/internal/mc"
+)
+
+// Backend is the per-core schedulability oracle the allocator consults
+// — the seam of Algorithm 1, which treats "does the subset stay
+// schedulable" and "what does adding this task cost" as questions the
+// analysis answers, independent of the heuristic asking them. The
+// EDF-VD Theorem-1 analysis (the paper's setting) and the AMC-rtb
+// response-time analysis (internal/fpamc) both implement it, so every
+// heuristic — including CA-TPA — runs atop either through the one
+// allocation shell.
+//
+// The protocol mirrors the allocator's allocation-free discipline:
+// FeasibleWith, ProbeUtil and UtilFloor are virtual (they must not
+// mutate committed core state), every method passes only scalars
+// across the interface boundary, and implementations are expected to
+// reuse internal storage so steady-state runs stay free of heap
+// allocations where the analysis permits it (the EDF-VD backend
+// guarantees 0 allocs/op; the AMC-rtb fixed points allocate, which the
+// contract allows). A Backend is owned by exactly one Partitioner and
+// is not safe for concurrent use.
+//
+// Call order per run: Reset (dimensions), Prepare (task set), Begin
+// (clear cores), then any interleaving of the virtual queries with
+// Place commits, then CoreUtil / ReportInto reads. KeepProbe marks the
+// analysis of the most recent ProbeUtil call as the winning
+// candidate's; a following Place with probed=true commits exactly that
+// cached analysis (the caller guarantees the (core, task) pair
+// matches).
+type Backend interface {
+	// Name returns the backend's registry name (e.g. "edfvd").
+	Name() string
+
+	// MaxLevels returns the largest supported criticality-level count,
+	// or 0 when unbounded. Reset panics when k exceeds it.
+	MaxLevels() int
+
+	// Reset re-dimensions the per-core state for m cores and k levels,
+	// reusing storage where the dimensions allow.
+	Reset(m, k int)
+
+	// Prepare installs ts for a batch of runs and performs per-set
+	// precomputation (e.g. utilization rows). The set must satisfy the
+	// backend's criticality bound.
+	Prepare(ts *mc.TaskSet)
+
+	// Begin clears all per-core state for one allocation pass over the
+	// prepared set.
+	Begin()
+
+	// FeasibleWith reports whether core c stays schedulable when task
+	// ti is added — the virtual per-core test of Algorithm 1 used by
+	// the classical schemes. It must not mutate committed state.
+	FeasibleWith(c, ti int) bool
+
+	// ProbeUtil returns the core-utilization metric of core c with
+	// task ti added (Eq. 15's U^{Psi_c + tau_i}), or +Inf when the
+	// extended subset is infeasible. worst selects the literal Eq. 9
+	// reading where the backend distinguishes the two. The probe's
+	// analysis may be cached for KeepProbe.
+	ProbeUtil(c, ti int, worst bool) float64
+
+	// KeepProbe marks the analysis of the most recent ProbeUtil call
+	// as the winning candidate's, to be committed by the next Place
+	// with probed=true.
+	KeepProbe()
+
+	// UtilFloor returns a certified lower bound on ProbeUtil(c, ti,
+	// worst) for either reading, used to prune hopeless probes
+	// (Algorithm 1's minimum-increment search); -Inf when no cheap
+	// bound exists.
+	UtilFloor(c, ti int) float64
+
+	// Place commits task ti to core c. probed reports that the winning
+	// KeepProbe analysis corresponds to exactly this (c, ti) pair and
+	// may be committed without re-analysis.
+	Place(c, ti int, probed bool)
+
+	// OwnLoad returns core c's own-level load (the Eq. 4 measure the
+	// classical schemes compare cores by).
+	OwnLoad(c int) float64
+
+	// CoreUtil returns the committed core-utilization metric of core c
+	// (Eq. 9), lazily analyzing the core's subset if no cached
+	// analysis is current. worst selects the literal Eq. 9 reading.
+	CoreUtil(c int, worst bool) float64
+
+	// ReportInto fills the analysis-derived fields of ci — Util,
+	// FeasibleK and Lambda — for core c's committed subset, reusing
+	// ci's storage.
+	ReportInto(c int, ci *CoreInfo)
+}
+
+// DefaultBackend is the registry name of the paper's EDF-VD Theorem-1
+// backend, the default of New and of every sweep.
+const DefaultBackend = "edfvd"
+
+// backendRegistry holds the registered backend factories. Registration
+// happens in package init functions; lookups happen at run time, so
+// the map is guarded for safety.
+var backendRegistry = struct {
+	sync.Mutex
+	factories map[string]func() Backend
+}{factories: make(map[string]func() Backend)}
+
+// ValidBackendName reports whether name satisfies the backend naming
+// contract enforced at registration (and statically by the mclint
+// backendreg rule, see DESIGN.md Section 11): a nonempty lowercase
+// ASCII identifier — letters and digits, starting with a letter.
+func ValidBackendName(name string) bool {
+	if len(name) == 0 || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		ch := name[i]
+		if (ch < 'a' || ch > 'z') && (ch < '0' || ch > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// RegisterBackend registers a backend factory under name. It is meant
+// to be called from package init functions (the EDF-VD backend
+// registers here, the AMC-rtb backend in internal/fpamc); mclint's
+// backendreg rule additionally enforces at build time that names are
+// constant strings registered at exactly one site. RegisterBackend
+// panics on a malformed name, a nil factory or a duplicate
+// registration.
+func RegisterBackend(name string, factory func() Backend) {
+	if !ValidBackendName(name) {
+		panic(fmt.Sprintf("partition: invalid backend name %q", name))
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("partition: backend %q registered with nil factory", name))
+	}
+	backendRegistry.Lock()
+	defer backendRegistry.Unlock()
+	if _, dup := backendRegistry.factories[name]; dup {
+		panic(fmt.Sprintf("partition: backend %q registered twice", name))
+	}
+	backendRegistry.factories[name] = factory
+}
+
+// NewBackend returns a fresh instance of the named registered backend.
+func NewBackend(name string) (Backend, error) {
+	backendRegistry.Lock()
+	factory, ok := backendRegistry.factories[name]
+	backendRegistry.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("partition: unknown backend %q (registered: %v)", name, BackendNames())
+	}
+	return factory(), nil
+}
+
+// BackendNames returns the names of all registered backends, sorted.
+func BackendNames() []string {
+	backendRegistry.Lock()
+	defer backendRegistry.Unlock()
+	out := make([]string, 0, len(backendRegistry.factories))
+	for name := range backendRegistry.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,225 @@
+package partition
+
+import (
+	"math"
+
+	"catpa/internal/edfvd"
+	"catpa/internal/mc"
+)
+
+func init() {
+	RegisterBackend(DefaultBackend, func() Backend { return &edfvdBackend{} })
+}
+
+// edfvdBackend is the paper's per-core analysis: the EDF-VD Theorem-1
+// test with virtual-deadline reduction factors (internal/edfvd). It
+// carries every piece of analysis state the allocator used to own —
+// per-core utilization matrices, cached reports, probe scratch and the
+// precomputed per-task utilization rows — and preserves the
+// allocation-free probing protocol: virtual screens read raw matrix
+// data, probe additions are undone bitwise via SaveRow/RestoreRow, and
+// the winning probe's analysis is swapped (never copied) into the
+// per-core cache.
+type edfvdBackend struct {
+	m, k int
+	ts   *mc.TaskSet
+
+	mats  []*mc.UtilMatrix // per-core incremental U_j(k)
+	reps  []edfvd.Report   // cached per-core analysis of the placed subset
+	repOK []bool           // reps[c] matches the core's current subset
+
+	urows []float64 // N x K precomputed utilization rows (Task.UtilRow)
+
+	// Probe state. scratch receives each probe's analysis; when a probe
+	// becomes the current best candidate, scratch and probeRep are
+	// swapped so probeRep always holds the winning analysis, which
+	// Place commits without re-running edfvd.AnalyzeInto. rowSave
+	// backs the SaveRow/RestoreRow exact undo of probe additions.
+	scratch  edfvd.Report
+	probeRep edfvd.Report
+	rowSave  []float64
+
+	// emptyRep is the analysis of an empty K-level subset, shared by
+	// every core that ends a run without tasks.
+	emptyRep edfvd.Report
+}
+
+// Name implements Backend.
+func (b *edfvdBackend) Name() string { return DefaultBackend }
+
+// MaxLevels implements Backend: the Theorem-1 analysis handles any K.
+func (b *edfvdBackend) MaxLevels() int { return 0 }
+
+// Reset implements Backend.
+func (b *edfvdBackend) Reset(m, k int) {
+	if m == b.m && k == b.k && b.mats != nil {
+		return
+	}
+	rebuild := k != b.k
+	b.m, b.k = m, k
+	if cap(b.mats) < m {
+		mats := make([]*mc.UtilMatrix, m)
+		copy(mats, b.mats)
+		b.mats = mats
+	} else {
+		b.mats = b.mats[:m]
+	}
+	for c := range b.mats {
+		if b.mats[c] == nil || rebuild {
+			b.mats[c] = mc.NewUtilMatrix(k)
+		}
+	}
+	if cap(b.reps) < m {
+		reps := make([]edfvd.Report, m)
+		copy(reps, b.reps)
+		b.reps = reps
+	} else {
+		b.reps = b.reps[:m]
+	}
+	b.repOK = resizeBools(b.repOK, m)
+	b.rowSave = resizeFloats(b.rowSave, k)
+	b.mats[0].Reset()
+	edfvd.AnalyzeInto(b.mats[0], &b.emptyRep)
+}
+
+// Prepare implements Backend: it precomputes every task's per-level
+// utilization row once, so the probe loops add K cached floats instead
+// of re-deriving c(k)/p.
+func (b *edfvdBackend) Prepare(ts *mc.TaskSet) {
+	b.ts = ts
+	n := ts.Len()
+	b.urows = resizeFloats(b.urows, n*b.k)
+	for i := 0; i < n; i++ {
+		ts.Tasks[i].UtilRow(b.k, b.urows[i*b.k:(i+1)*b.k])
+	}
+}
+
+// Begin implements Backend.
+func (b *edfvdBackend) Begin() {
+	for c := 0; c < b.m; c++ {
+		b.mats[c].Reset()
+		b.repOK[c] = false
+	}
+}
+
+// urow returns task ti's precomputed utilization row.
+func (b *edfvdBackend) urow(ti int) []float64 {
+	return b.urows[ti*b.k : (ti+1)*b.k]
+}
+
+// FeasibleWith implements Backend with the Theorem-1 ladder of
+// Section IV: the cheap Eq. 4 accept, the O(1) overload reject, and
+// the early-exiting full Theorem-1 verdict, all virtual — they read
+// the matrix without mutating it, so classical placement never probes
+// and never fills a report.
+func (b *edfvdBackend) FeasibleWith(c, ti int) bool {
+	crit := b.ts.Tasks[ti].Crit
+	d := b.mats[c].Data()
+	u := b.urow(ti)
+	if edfvd.SimpleFeasibleProbed(d, b.k, crit, u) {
+		return true
+	}
+	if b.k >= 2 && edfvd.FastInfeasibleProbed(d, b.k, crit, u) {
+		return false
+	}
+	return edfvd.FeasibleProbed(d, b.k, crit, u)
+}
+
+// probeAdd tentatively adds task ti to core c, first snapshotting the
+// affected matrix row so probeUndo can restore it bitwise (an
+// arithmetic Remove could leave one-ulp residue in the sums).
+func (b *edfvdBackend) probeAdd(c, ti int) {
+	crit := b.ts.Tasks[ti].Crit
+	b.mats[c].SaveRow(crit, b.rowSave)
+	b.mats[c].AddRow(crit, b.urow(ti))
+}
+
+// probeUndo exactly reverts the matching probeAdd.
+func (b *edfvdBackend) probeUndo(c, ti int) {
+	b.mats[c].RestoreRow(b.ts.Tasks[ti].Crit, b.rowSave)
+}
+
+// ProbeUtil implements Backend: the core utilization U^{Psi_c + tau_i}
+// of Eq. 15, +Inf when the extended subset is infeasible. The analysis
+// is left in scratch for KeepProbe.
+func (b *edfvdBackend) ProbeUtil(c, ti int, worst bool) float64 {
+	if edfvd.FastInfeasibleProbed(b.mats[c].Data(), b.k, b.ts.Tasks[ti].Crit, b.urow(ti)) {
+		// No condition can hold: CoreUtil would be +Inf under either
+		// Eq. 9 reading, so skip the probe and the full analysis.
+		return math.Inf(1)
+	}
+	b.probeAdd(c, ti)
+	edfvd.AnalyzeInto(b.mats[c], &b.scratch)
+	u := b.scratch.CoreUtil
+	if worst {
+		u = b.scratch.CoreUtilWorst
+	}
+	b.probeUndo(c, ti)
+	return u
+}
+
+// KeepProbe implements Backend.
+func (b *edfvdBackend) KeepProbe() {
+	b.scratch, b.probeRep = b.probeRep, b.scratch
+}
+
+// UtilFloor implements Backend via the certified Eq. 9 lower bound of
+// edfvd.UtilFloorProbed; conservative, so no potential winner of the
+// minimum-increment search is ever pruned away.
+func (b *edfvdBackend) UtilFloor(c, ti int) float64 {
+	return edfvd.UtilFloorProbed(b.mats[c].Data(), b.k, b.ts.Tasks[ti].Crit, b.urow(ti))
+}
+
+// Place implements Backend. With probed set, the winning probe's
+// analysis (held in probeRep since KeepProbe) is committed by swap;
+// otherwise the core's cached report is invalidated and the next
+// CoreUtil or ReportInto re-analyzes lazily.
+func (b *edfvdBackend) Place(c, ti int, probed bool) {
+	b.mats[c].AddRow(b.ts.Tasks[ti].Crit, b.urow(ti))
+	if probed {
+		b.reps[c], b.probeRep = b.probeRep, b.reps[c]
+		b.repOK[c] = true
+	} else {
+		b.repOK[c] = false
+	}
+}
+
+// OwnLoad implements Backend: the Eq. 4 own-level load of core c.
+func (b *edfvdBackend) OwnLoad(c int) float64 {
+	return b.mats[c].OwnLevelLoad()
+}
+
+// report returns the Theorem-1 analysis of core c's current subset,
+// reusing the analysis cached during placement when it is current
+// (always, for CA-TPA) and the shared empty-subset analysis for cores
+// without tasks. Only classical-scheme cores with tasks are analyzed
+// here — the one place the finishing pass still runs edfvd.AnalyzeInto.
+func (b *edfvdBackend) report(c int) *edfvd.Report {
+	if b.repOK[c] {
+		return &b.reps[c]
+	}
+	if b.mats[c].Len() == 0 {
+		return &b.emptyRep
+	}
+	edfvd.AnalyzeInto(b.mats[c], &b.reps[c])
+	b.repOK[c] = true
+	return &b.reps[c]
+}
+
+// CoreUtil implements Backend: the committed Eq. 9 core utilization,
+// in the requested reading.
+func (b *edfvdBackend) CoreUtil(c int, worst bool) float64 {
+	rep := b.report(c)
+	if worst {
+		return rep.CoreUtilWorst
+	}
+	return rep.CoreUtil
+}
+
+// ReportInto implements Backend.
+func (b *edfvdBackend) ReportInto(c int, ci *CoreInfo) {
+	rep := b.report(c)
+	ci.Util = rep.CoreUtil
+	ci.FeasibleK = rep.FeasibleK
+	ci.Lambda = append(ci.Lambda[:0], rep.Lambda...)
+}

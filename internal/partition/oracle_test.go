@@ -3,6 +3,7 @@ package partition_test
 import (
 	"testing"
 
+	"catpa/internal/fpamc"
 	"catpa/internal/partition"
 	"catpa/internal/sim"
 	"catpa/internal/taskgen"
@@ -60,4 +61,98 @@ func TestSimOracleAcceptsAreSafe(t *testing.T) {
 		t.Fatal("oracle never saw an accepted partition; the sweep parameters are vacuous")
 	}
 	t.Logf("sim oracle: %d accepted partitions simulated, 0 misses", simulated)
+}
+
+// TestSimOracleFPAcceptsAreSafe is the same differential proof for the
+// AMC-rtb backend: every dual-criticality task set a scheme accepts
+// through the unified allocator running atop fpamc.Backend (each core
+// passed the AMC-rtb response-time analysis) must survive execution
+// under fixed-priority dispatching with the deadline-monotonic order
+// the analysis assumed — worst-case execution model, zero non-dropped
+// deadline misses on every core. This closes the loop the tentpole
+// opened: CA-TPA and the classic heuristics now place tasks under an
+// analysis the EDF-VD oracle never touches, so the AMC-rtb verdicts
+// need their own simulator cross-examination.
+func TestSimOracleFPAcceptsAreSafe(t *testing.T) {
+	const (
+		seed = 20160814
+		sets = 60
+	)
+	cfg := taskgen.DefaultConfig()
+	cfg.M = 4
+	cfg.K = 2
+	cfg.N = taskgen.IntRange{Lo: 16, Hi: 48}
+
+	part := partition.NewWithBackend(cfg.M, cfg.K, new(fpamc.Backend))
+	accepted, simulated := 0, 0
+	for _, nsu := range []float64{0.45, 0.6, 0.7} {
+		cfg.NSU = nsu
+		for idx := 0; idx < sets; idx++ {
+			ts := taskgen.GenerateIndexed(&cfg, seed, idx)
+			for _, scheme := range partition.Schemes {
+				res := part.Run(ts, scheme, nil)
+				if !res.Feasible {
+					continue
+				}
+				accepted++
+				subsets := res.Subsets(ts)
+				st := sim.SimulateSystem(sim.SystemConfig{
+					Subsets:       subsets,
+					K:             cfg.K,
+					FixedPriority: true,
+					PrioritiesFor: func(core int) []int {
+						return fpamc.Priorities(subsets[core].Tasks)
+					},
+				})
+				simulated++
+				if st.Missed() != 0 {
+					t.Fatalf("amcrtb-accepted set missed deadlines under fixed-priority dispatching\n"+
+						"reproduce: taskgen.GenerateIndexed(cfg{M=%d,K=2,NSU=%v,N=[%d,%d]}, seed=%d, idx=%d), scheme %v\n%s",
+						cfg.M, nsu, cfg.N.Lo, cfg.N.Hi, seed, idx, scheme, st.String())
+				}
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("oracle never saw an accepted partition; the sweep parameters are vacuous")
+	}
+	t.Logf("fp sim oracle: %d accepted partitions simulated, 0 misses", simulated)
+}
+
+// TestSimOracleFPBoundaryCore pins the single-core boundary: a subset
+// that AMC-rtb accepts on one core stays safe even when its own-level
+// load sits close to the analysis's acceptance frontier.
+func TestSimOracleFPBoundaryCore(t *testing.T) {
+	cfg := taskgen.DefaultConfig()
+	cfg.M = 1
+	cfg.K = 2
+	cfg.N = taskgen.IntRange{Lo: 4, Hi: 10}
+
+	part := partition.NewWithBackend(1, 2, new(fpamc.Backend))
+	accepted := 0
+	for _, nsu := range []float64{0.5, 0.7, 0.85} {
+		cfg.NSU = nsu
+		for idx := 0; idx < 80; idx++ {
+			ts := taskgen.GenerateIndexed(&cfg, 99, idx)
+			res := part.Run(ts, partition.FFD, nil)
+			if !res.Feasible {
+				continue
+			}
+			accepted++
+			prios := fpamc.Priorities(ts.Tasks)
+			st := sim.SimulateCore(sim.CoreConfig{
+				Tasks:         ts.Tasks,
+				K:             2,
+				Model:         sim.WorstCaseModel{},
+				FixedPriority: true,
+				Priorities:    prios,
+			})
+			if st.Missed != 0 {
+				t.Fatalf("nsu=%v idx=%d: %d misses on an amcrtb-accepted single core", nsu, idx, st.Missed)
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("boundary oracle never accepted; parameters are vacuous")
+	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"catpa/internal/edfvd"
 	"catpa/internal/mc"
 )
 
@@ -21,33 +20,33 @@ func Partition(ts *mc.TaskSet, m, k int, scheme Scheme, opts *Options) *Result {
 	return New(m, k).Run(ts, scheme, opts)
 }
 
-// allocator carries the reusable state of partitioning runs: per-core
-// matrices, cached analyses, ordering scratch and precomputed per-task
-// utilization rows. It is re-dimensioned by reset and cleared by clear,
-// so steady-state runs perform no allocations.
+// allocator is the one allocation shell shared by every heuristic and
+// every analysis backend: it owns the heuristic state of a run —
+// per-core task lists, the assignment, cached core utilizations,
+// ordering scratch — and consults a Backend for every schedulability
+// question (Algorithm 1's oracle seam). It is re-dimensioned by reset
+// and cleared per run, so steady-state runs perform no allocations in
+// the shell; whether the analysis itself allocates is the backend's
+// contract (the EDF-VD backend does not).
 type allocator struct {
 	m, k int
+	be   Backend
 
 	// Per-run inputs.
 	ts     *mc.TaskSet
 	scheme Scheme
 	opts   *Options
 
-	// Per-core state.
-	mats []*mc.UtilMatrix // per-core incremental U_j(k)
-	// utils is the per-core U^Psi in the configured Eq. 9 reading
-	// (CA-TPA's decision metric); utilEval is the standard reading
-	// used by the result metrics. They differ only under Eq9Literal.
-	utils    []float64
-	utilEval []float64
-	ownLoad  []float64      // per-core Eq. 4 own-level load, refreshed on place
-	reps     []edfvd.Report // cached per-core analysis of the placed subset
-	repOK    []bool         // reps[c] matches the core's current subset
-	tasks    [][]int        // per-core task indices in allocation order
+	// Per-core state. utils is the per-core U^Psi in the configured
+	// Eq. 9 reading (CA-TPA's decision metric), refreshed from the
+	// backend on probed or traced placements; ownLoad the Eq. 4
+	// own-level load the classical schemes compare cores by.
+	utils   []float64
+	ownLoad []float64
+	tasks   [][]int // per-core task indices in allocation order
 
 	// Per-task state.
-	assign []int     // task -> core
-	urows  []float64 // N x K precomputed utilization rows (Task.UtilRow)
+	assign []int // task -> core
 
 	// Ordering cache: one slot per OrderPolicy, valid for the current
 	// task set. Schemes sharing an effective ordering (all classical
@@ -59,19 +58,9 @@ type allocator struct {
 
 	failed int // first unplaceable task, -1
 
-	// Probe state. scratch receives each probe's analysis; when a probe
-	// becomes the current best candidate, scratch and probeRep are
-	// swapped so probeRep always holds the winning analysis, which
-	// place commits without re-running edfvd.AnalyzeInto. rowSave
-	// backs the SaveRow/RestoreRow exact undo of probe additions.
-	scratch  edfvd.Report
-	probeRep edfvd.Report
-	probeOK  bool
-	rowSave  []float64
-
-	// emptyRep is the analysis of an empty K-level subset, shared by
-	// every core that ends a run without tasks.
-	emptyRep edfvd.Report
+	// probeOK records that the backend holds a kept probe analysis for
+	// the next place.
+	probeOK bool
 
 	trace []Step
 }
@@ -85,34 +74,16 @@ func (a *allocator) reset(m, k int) {
 	if k < 1 {
 		k = 1
 	}
-	if m == a.m && k == a.k && a.mats != nil {
+	if maxK := a.be.MaxLevels(); maxK > 0 && k > maxK {
+		panic(fmt.Sprintf("partition: backend %s supports at most K=%d levels, got %d", a.be.Name(), maxK, k))
+	}
+	a.be.Reset(m, k)
+	if m == a.m && k == a.k && a.utils != nil {
 		return
 	}
-	rebuild := k != a.k
 	a.m, a.k = m, k
-	if cap(a.mats) < m {
-		mats := make([]*mc.UtilMatrix, m)
-		copy(mats, a.mats)
-		a.mats = mats
-	} else {
-		a.mats = a.mats[:m]
-	}
-	for c := range a.mats {
-		if a.mats[c] == nil || rebuild {
-			a.mats[c] = mc.NewUtilMatrix(k)
-		}
-	}
 	a.utils = resizeFloats(a.utils, m)
-	a.utilEval = resizeFloats(a.utilEval, m)
 	a.ownLoad = resizeFloats(a.ownLoad, m)
-	a.repOK = resizeBools(a.repOK, m)
-	if cap(a.reps) < m {
-		reps := make([]edfvd.Report, m)
-		copy(reps, a.reps)
-		a.reps = reps
-	} else {
-		a.reps = a.reps[:m]
-	}
 	if cap(a.tasks) < m {
 		tasks := make([][]int, m)
 		copy(tasks, a.tasks)
@@ -120,28 +91,19 @@ func (a *allocator) reset(m, k int) {
 	} else {
 		a.tasks = a.tasks[:m]
 	}
-	a.rowSave = resizeFloats(a.rowSave, k)
-	a.mats[0].Reset()
-	edfvd.AnalyzeInto(a.mats[0], &a.emptyRep)
 }
 
-// prepSet installs a task set: it validates the dimensions, precomputes
-// the per-task utilization rows and invalidates the ordering cache.
-// Once prepared, any number of runPrepared calls may share this work
-// (the EvaluateAll batch path).
+// prepSet installs a task set: it validates the dimensions and hands
+// the set to the backend for per-set precomputation, invalidating the
+// ordering cache. Once prepared, any number of runPrepared calls may
+// share this work (the EvaluateAll batch path).
 func (a *allocator) prepSet(ts *mc.TaskSet) {
 	if maxCrit := ts.MaxCrit(); a.k < maxCrit {
 		panic(fmt.Sprintf("partition: K=%d below task set criticality %d", a.k, maxCrit))
 	}
 	a.ts = ts
 	a.ordOK[0], a.ordOK[1] = false, false
-	n := ts.Len()
-	// Precompute every task's per-level utilization row once, so the
-	// probe loops add K cached floats instead of re-deriving c(k)/p.
-	a.urows = resizeFloats(a.urows, n*a.k)
-	for i := 0; i < n; i++ {
-		ts.Tasks[i].UtilRow(a.k, a.urows[i*a.k:(i+1)*a.k])
-	}
+	a.be.Prepare(ts)
 }
 
 // clearRun resets the per-run state for the already-prepared task set.
@@ -150,12 +112,10 @@ func (a *allocator) clearRun(scheme Scheme, opts *Options) {
 	a.failed = -1
 	a.probeOK = false
 	a.trace = a.trace[:0]
+	a.be.Begin()
 	for c := 0; c < a.m; c++ {
-		a.mats[c].Reset()
 		a.utils[c] = 0
-		a.utilEval[c] = 0
-		a.ownLoad[c] = a.mats[c].OwnLevelLoad()
-		a.repOK[c] = false
+		a.ownLoad[c] = a.be.OwnLoad(c)
 		a.tasks[c] = a.tasks[c][:0]
 	}
 	a.assign = resizeInts(a.assign, a.ts.Len())
@@ -187,113 +147,26 @@ func (a *allocator) runPrepared(scheme Scheme, opts *Options) {
 	}
 }
 
-// urow returns task ti's precomputed utilization row.
-func (a *allocator) urow(ti int) []float64 {
-	return a.urows[ti*a.k : (ti+1)*a.k]
-}
-
-// probeAdd tentatively adds task ti to core c, first snapshotting the
-// affected matrix row so probeUndo can restore it bitwise (an
-// arithmetic Remove could leave one-ulp residue in the sums).
-func (a *allocator) probeAdd(c, ti int) {
-	crit := a.ts.Tasks[ti].Crit
-	a.mats[c].SaveRow(crit, a.rowSave)
-	a.mats[c].AddRow(crit, a.urow(ti))
-}
-
-// probeUndo exactly reverts the matching probeAdd.
-func (a *allocator) probeUndo(c, ti int) {
-	a.mats[c].RestoreRow(a.ts.Tasks[ti].Crit, a.rowSave)
-}
-
-// feasibleWith reports whether core c stays schedulable when task ti
-// is added, used by the classical schemes of Section IV. The whole
-// test is virtual — the cheap Eq. 4 accept, the O(1) overload reject,
-// and the early-exiting full Theorem-1 verdict all read the matrix
-// without mutating it, so classic placement never probes and never
-// fills a report.
-func (a *allocator) feasibleWith(c, ti int) bool {
-	crit := a.ts.Tasks[ti].Crit
-	d := a.mats[c].Data()
-	u := a.urow(ti)
-	if edfvd.SimpleFeasibleProbed(d, a.k, crit, u) {
-		return true
-	}
-	if a.k >= 2 && edfvd.FastInfeasibleProbed(d, a.k, crit, u) {
-		return false
-	}
-	return edfvd.FeasibleProbed(d, a.k, crit, u)
-}
-
-// coreUtil extracts the configured Eq. 9 reading from the scratch
-// report.
-func (a *allocator) coreUtil() float64 {
-	if a.opts.eq9Literal() {
-		return a.scratch.CoreUtilWorst
-	}
-	return a.scratch.CoreUtil
-}
-
-// keepProbe marks the analysis currently in scratch as the winning
-// candidate's, to be committed by place without re-analysis.
-func (a *allocator) keepProbe() {
-	a.scratch, a.probeRep = a.probeRep, a.scratch
-	a.probeOK = true
-}
-
-// utilWith returns the core utilization U^{Psi_c + tau_ti} of Eq. 15,
-// +Inf when the extended subset is infeasible. The analysis is left in
-// scratch for keepProbe.
-func (a *allocator) utilWith(c, ti int) float64 {
-	if edfvd.FastInfeasibleProbed(a.mats[c].Data(), a.k, a.ts.Tasks[ti].Crit, a.urow(ti)) {
-		// No condition can hold: CoreUtil would be +Inf under either
-		// Eq. 9 reading, so skip the probe and the full analysis.
-		return math.Inf(1)
-	}
-	a.probeAdd(c, ti)
-	edfvd.AnalyzeInto(a.mats[c], &a.scratch)
-	u := a.coreUtil()
-	a.probeUndo(c, ti)
-	return u
-}
-
 // place commits task ti to core c. When a CA-TPA probe cached the
-// winning core's analysis (probeOK), it is committed directly; the
-// classical schemes defer per-core analysis to the finishing pass
+// winning core's analysis (probeOK), the backend commits it directly;
+// the classical schemes defer per-core analysis to the finishing pass
 // entirely, since their placement decisions never read core
 // utilizations (only own-level loads). Tracing forces the eager
-// analysis because Step.Util reports the post-placement utilization.
+// utilization read because Step.Util reports the post-placement value.
 func (a *allocator) place(ti, c int) {
 	prev := a.utils[c]
-	a.mats[c].AddRow(a.ts.Tasks[ti].Crit, a.urow(ti))
-	a.ownLoad[c] = a.mats[c].OwnLevelLoad()
+	probed := a.probeOK
+	a.probeOK = false
+	a.be.Place(c, ti, probed)
+	a.ownLoad[c] = a.be.OwnLoad(c)
 	a.tasks[c] = append(a.tasks[c], ti)
 	a.assign[ti] = c
-	switch {
-	case a.probeOK:
-		a.reps[c], a.probeRep = a.probeRep, a.reps[c]
-		a.probeOK = false
-		a.commitRep(c)
-	case a.opts.trace():
-		edfvd.AnalyzeInto(a.mats[c], &a.reps[c])
-		a.commitRep(c)
-	default:
-		a.repOK[c] = false
+	if probed || a.opts.trace() {
+		a.utils[c] = a.be.CoreUtil(c, a.opts.eq9Literal())
 	}
 	if a.opts.trace() {
 		a.trace = append(a.trace, Step{Task: ti, Core: c, Util: a.utils[c], Increment: a.utils[c] - prev})
 	}
-}
-
-// commitRep refreshes the cached per-core utilizations from reps[c].
-func (a *allocator) commitRep(c int) {
-	if a.opts.eq9Literal() {
-		a.utils[c] = a.reps[c].CoreUtilWorst
-	} else {
-		a.utils[c] = a.reps[c].CoreUtil
-	}
-	a.utilEval[c] = a.reps[c].CoreUtil
-	a.repOK[c] = true
 }
 
 func (a *allocator) fail(ti int) {
@@ -344,7 +217,7 @@ func (a *allocator) pickClassic(s Scheme, ti int) int {
 	best := -1
 	var bestLoad float64
 	for c := 0; c < a.m; c++ {
-		if !a.feasibleWith(c, ti) {
+		if !a.be.FeasibleWith(c, ti) {
 			continue
 		}
 		switch s {
@@ -352,7 +225,7 @@ func (a *allocator) pickClassic(s Scheme, ti int) int {
 			return c // first feasible core wins
 		case BFD:
 			// Fullest feasible core: maximize current own-level load
-			// (cached; refreshed by place via the same OwnLevelLoad sum).
+			// (cached; refreshed by place via the same OwnLoad sum).
 			if load := a.ownLoad[c]; best < 0 || load > bestLoad+mc.Eps {
 				best, bestLoad = c, load
 			}
@@ -438,6 +311,19 @@ func (a *allocator) imbalance() float64 {
 	return (maxU - minU) / maxU
 }
 
+// keepProbe marks the backend's most recent probe analysis as the
+// winning candidate's, to be committed by place without re-analysis.
+func (a *allocator) keepProbe() {
+	a.be.KeepProbe()
+	a.probeOK = true
+}
+
+// utilWith returns the backend's core utilization with task ti added
+// (Eq. 15), +Inf when the extended subset is infeasible.
+func (a *allocator) utilWith(c, ti int) float64 {
+	return a.be.ProbeUtil(c, ti, a.opts.eq9Literal())
+}
+
 // pickMinIncrement probes every core (lines 5-11 of Algorithm 1) and
 // returns the feasible core with the smallest core-utilization
 // increment, ties broken by smaller index; -1 if none is feasible. The
@@ -445,14 +331,12 @@ func (a *allocator) imbalance() float64 {
 func (a *allocator) pickMinIncrement(ti int) int {
 	best := -1
 	bestInc := math.Inf(1)
-	crit := a.ts.Tasks[ti].Crit
-	urow := a.urow(ti)
 	for c := 0; c < a.m; c++ {
 		// Certified pruning: if even the utilization floor of the
 		// probed core cannot beat the incumbent increment (under the
 		// selection's Eps hysteresis), the full analysis is pointless.
 		// The floor is conservative, so no potential winner is skipped.
-		if floor := edfvd.UtilFloorProbed(a.mats[c].Data(), a.k, crit, urow); floor-a.utils[c] >= bestInc-mc.Eps {
+		if floor := a.be.UtilFloor(c, ti); floor-a.utils[c] >= bestInc-mc.Eps {
 			continue
 		}
 		u := a.utilWith(c, ti)
@@ -485,8 +369,9 @@ func (a *allocator) pickLeastLoaded(ti int) int {
 	return best
 }
 
-// pickFirstFeasible places on the first core that passes the
-// Theorem-1 test with the task added (the NoProbe ablation).
+// pickFirstFeasible places on the first core that passes the backend's
+// schedulability test with the task added (the NoProbe ablation of
+// Algorithm 1).
 func (a *allocator) pickFirstFeasible(ti int) int {
 	for c := 0; c < a.m; c++ {
 		if !math.IsInf(a.utilWith(c, ti), 1) {
@@ -495,24 +380,6 @@ func (a *allocator) pickFirstFeasible(ti int) int {
 		}
 	}
 	return -1
-}
-
-// coreReport returns the Theorem-1 analysis of core c's final subset,
-// reusing the analysis cached during placement when it is current
-// (always, for CA-TPA) and the shared empty-subset analysis for cores
-// that received no task. Only classical-scheme cores with tasks are
-// analyzed here — the one place the finishing pass still runs
-// edfvd.AnalyzeInto.
-func (a *allocator) coreReport(c int) *edfvd.Report {
-	if a.repOK[c] {
-		return &a.reps[c]
-	}
-	if a.mats[c].Len() == 0 {
-		return &a.emptyRep
-	}
-	edfvd.AnalyzeInto(a.mats[c], &a.reps[c])
-	a.repOK[c] = true
-	return &a.reps[c]
 }
 
 // finishInto assembles the run's Result into r, reusing r's storage.
@@ -528,13 +395,10 @@ func (a *allocator) finishInto(r *Result) {
 		r.Cores = r.Cores[:a.m]
 	}
 	for c := 0; c < a.m; c++ {
-		rep := a.coreReport(c)
 		ci := &r.Cores[c]
 		ci.Tasks = append(ci.Tasks[:0], a.tasks[c]...)
-		ci.Util = rep.CoreUtil
-		ci.OwnLevelLoad = a.mats[c].OwnLevelLoad()
-		ci.FeasibleK = rep.FeasibleK
-		ci.Lambda = append(ci.Lambda[:0], rep.Lambda...)
+		a.be.ReportInto(c, ci)
+		ci.OwnLevelLoad = a.be.OwnLoad(c)
 	}
 	if len(a.trace) > 0 {
 		r.Trace = append(r.Trace[:0], a.trace...)
@@ -552,7 +416,7 @@ func (a *allocator) evaluate() Eval {
 	ev := Eval{Feasible: a.failed < 0, FailedTask: a.failed}
 	maxU, minU, sum := math.Inf(-1), math.Inf(1), 0.0
 	for c := 0; c < a.m; c++ {
-		u := a.coreReport(c).CoreUtil
+		u := a.be.CoreUtil(c, false)
 		sum += u
 		if u > maxU {
 			maxU = u

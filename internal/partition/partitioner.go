@@ -17,14 +17,31 @@ type Partitioner struct {
 	res Result
 }
 
-// New returns a Partitioner for m cores and k criticality levels.
-// It panics if m < 1; k values below 1 are normalized to 1 (matching
-// Partition's handling of empty task sets).
+// New returns a Partitioner for m cores and k criticality levels,
+// analyzed with the default EDF-VD Theorem-1 backend. It panics if
+// m < 1; k values below 1 are normalized to 1 (matching Partition's
+// handling of empty task sets).
 func New(m, k int) *Partitioner {
+	return NewWithBackend(m, k, &edfvdBackend{})
+}
+
+// NewWithBackend returns a Partitioner whose per-core schedulability
+// questions are answered by be instead of the default EDF-VD analysis.
+// The Partitioner takes ownership of be: it must not be shared with
+// another Partitioner or used directly afterwards. It panics if be is
+// nil, m < 1, or k exceeds be.MaxLevels().
+func NewWithBackend(m, k int, be Backend) *Partitioner {
+	if be == nil {
+		panic("partition: NewWithBackend called with nil backend")
+	}
 	p := &Partitioner{}
+	p.a.be = be
 	p.a.reset(m, k)
 	return p
 }
+
+// Backend returns the analysis backend this Partitioner runs on.
+func (p *Partitioner) Backend() Backend { return p.a.be }
 
 // Reset re-dimensions the partitioner for m cores and k levels,
 // reusing as much internal storage as the new dimensions allow. It is

@@ -24,6 +24,14 @@ const checkpointKind = "catpa-sweep-checkpoint"
 // because the mean metrics are bit-exact only for a fixed striping, so
 // mixing points computed under different worker counts would break the
 // byte-identical-resume invariant.
+//
+// The "schemes" field carries the sweep's variant names ("WFD",
+// "CA-TPA@amcrtb", ...), which index the cells of every point record.
+// Variants on the default EDF-VD backend render as plain scheme names,
+// so journals written before the backend axis existed carry the same
+// identity as today's default sweeps and resume without a version
+// bump; a journal from a different variant list simply fails the
+// identity match and the run starts fresh.
 type header struct {
 	Version int       `json:"version"`
 	Kind    string    `json:"kind"`

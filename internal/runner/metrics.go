@@ -3,7 +3,6 @@ package runner
 import (
 	"catpa/internal/experiments"
 	"catpa/internal/obs"
-	"catpa/internal/partition"
 )
 
 // Metrics is the observability surface of a fault-tolerant run: the
@@ -38,10 +37,12 @@ type Metrics struct {
 	workers        *obs.Gauge   // sweep.workers
 }
 
-// NewMetrics registers the full runner + sweep metric set in reg.
-func NewMetrics(reg *obs.Registry) *Metrics {
+// NewMetrics registers the full runner + sweep metric set in reg. The
+// variant list must match the sweep's (ActiveVariants); empty selects
+// the five default-backend schemes.
+func NewMetrics(reg *obs.Registry, variants ...experiments.Variant) *Metrics {
 	return &Metrics{
-		Exp:            experiments.NewSweepMetrics(reg),
+		Exp:            experiments.NewSweepMetrics(reg, variants...),
 		reg:            reg,
 		writes:         reg.Counter("checkpoint.writes.total"),
 		writeSeconds:   reg.Histogram("checkpoint.write.seconds", nil),
@@ -84,9 +85,9 @@ func metWriteSeconds(m *Metrics) *obs.Histogram {
 
 // restore rebuilds cumulative totals from an opened checkpoint: the
 // embedded snapshot when it survived intact, the point records
-// otherwise. schemes is the sweep's scheme list, indexing the cells of
-// every point record.
-func (m *Metrics) restore(ck *Checkpoint, resumed []int, schemes []partition.Scheme) {
+// otherwise (cells are indexed like the sweep's variant list, which
+// the Metrics shares).
+func (m *Metrics) restore(ck *Checkpoint, resumed []int) {
 	m.dropped.Add(int64(ck.DroppedLines))
 	m.pointsResumed.Add(int64(len(resumed)))
 	if ck.LoadedSnapshot != nil {
@@ -99,7 +100,7 @@ func (m *Metrics) restore(ck *Checkpoint, resumed []int, schemes []partition.Sch
 	}
 	for _, pi := range resumed {
 		rec, _ := ck.done(pi)
-		m.Exp.AddResumedPoint(schemes, rec.Cells, len(rec.Quarantined))
+		m.Exp.AddResumedPoint(rec.Cells, len(rec.Quarantined))
 	}
 	m.snapRebuilt.Inc()
 }

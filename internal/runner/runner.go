@@ -9,7 +9,6 @@ import (
 
 	"catpa/internal/experiments"
 	"catpa/internal/obs"
-	"catpa/internal/partition"
 )
 
 // Options configures one fault-tolerant sweep execution. The zero
@@ -108,10 +107,7 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 	if opts == nil {
 		opts = &Options{}
 	}
-	schemes := sw.Schemes
-	if len(schemes) == 0 {
-		schemes = partition.Schemes
-	}
+	variants := sw.ActiveVariants()
 	workers := sw.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -133,7 +129,7 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 			Seed:    sw.Seed,
 			Sets:    sw.Sets,
 			Workers: workers,
-			Schemes: schemeNames(schemes),
+			Schemes: variantNames(variants),
 			Values:  sw.Values,
 		}
 		var err error
@@ -148,7 +144,7 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 			}
 		}
 		if met != nil {
-			met.restore(ck, rep.Resumed, schemes)
+			met.restore(ck, rep.Resumed)
 			ck.snap = met.Snapshot
 		}
 	}
@@ -201,6 +197,11 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 
 	res, runErr := sw.RunContext(runCtx, cfg)
 	rep.Result = res
+	if res == nil {
+		// Variant validation failed before any point ran; there is no
+		// partial result to splice resumed points into.
+		return rep, runErr
+	}
 
 	// Splice resumed points (cells and quarantines) into the result.
 	for _, pi := range rep.Resumed {
@@ -230,11 +231,14 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 	return rep, nil
 }
 
-// schemeNames renders the scheme list for the checkpoint identity.
-func schemeNames(schemes []partition.Scheme) []string {
-	out := make([]string, len(schemes))
-	for i, s := range schemes {
-		out[i] = s.String()
+// variantNames renders the variant list for the checkpoint identity.
+// Default-backend variants render as plain scheme names, so journals
+// of sweeps without a backend axis keep their historical identity and
+// resume across this change without a version bump.
+func variantNames(variants []experiments.Variant) []string {
+	out := make([]string, len(variants))
+	for i, v := range variants {
+		out[i] = v.String()
 	}
 	return out
 }

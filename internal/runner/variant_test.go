@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"catpa/internal/experiments"
+	"catpa/internal/fpamc"
+	"catpa/internal/obs"
+	"catpa/internal/partition"
+	"catpa/internal/taskgen"
+)
+
+// variantSweep returns a small dual-criticality sweep over both
+// analysis backends.
+func variantSweep() *experiments.Sweep {
+	return &experiments.Sweep{
+		Name:   "variantsweep",
+		Title:  "runner variant sweep",
+		Param:  "NSU",
+		Values: []float64{0.45, 0.7},
+		Apply: func(p *experiments.Params, x float64) {
+			p.M = 4
+			p.K = 2
+			p.N = taskgen.IntRange{Lo: 15, Hi: 30}
+			p.NSU = x
+		},
+		Sets:    40,
+		Seed:    13,
+		Workers: 2,
+		Variants: []experiments.Variant{
+			{Scheme: partition.CATPA},
+			{Scheme: partition.CATPA, Backend: fpamc.BackendName},
+			{Scheme: partition.FFD, Backend: fpamc.BackendName},
+		},
+	}
+}
+
+// TestVariantSweepResumesByteIdentical: the checkpoint identity keys
+// on variant names, and a variant sweep resumes bit-exactly like a
+// default one.
+func TestVariantSweepResumesByteIdentical(t *testing.T) {
+	golden, err := Run(context.Background(), variantSweep(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "variantsweep.ckpt")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = Run(ctx, variantSweep(), &Options{
+		CheckpointPath: ckpt,
+		OnPoint: func(pi int, _ *experiments.Point) {
+			if pi == 0 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+
+	// The journal header must carry the variant names.
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(string(raw), "\n", 2)[0]
+	for _, want := range []string{`"CA-TPA"`, `"CA-TPA@amcrtb"`, `"FFD@amcrtb"`} {
+		if !strings.Contains(head, want) {
+			t.Errorf("journal header missing %s: %s", want, head)
+		}
+	}
+
+	rep2, err := Run(context.Background(), variantSweep(), &Options{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Complete() || len(rep2.Resumed) != 1 {
+		t.Fatalf("resume: complete=%v resumed=%v", rep2.Complete(), rep2.Resumed)
+	}
+	if got, want := allCSV(rep2.Result), allCSV(golden.Result); got != want {
+		t.Errorf("resumed CSV differs from golden:\n%s\n---\n%s", got, want)
+	}
+}
+
+// TestVariantMetricsRestore: metrics built for a variant list restore
+// exact per-variant totals from a resumed checkpoint's point records.
+func TestVariantMetricsRestore(t *testing.T) {
+	sw := variantSweep()
+	ckpt := filepath.Join(t.TempDir(), "variantsweep.ckpt")
+	met := NewMetrics(obs.NewRegistry(), sw.ActiveVariants()...)
+	if _, err := Run(context.Background(), sw, &Options{CheckpointPath: ckpt, Metrics: met}); err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := int64(sw.Sets * len(sw.Values))
+	if got := met.Exp.SetsTotal(); got != wantTotal {
+		t.Fatalf("sets.total = %d, want %d", got, wantTotal)
+	}
+	for _, v := range sw.ActiveVariants() {
+		acc, rej := met.Exp.AcceptedVariant(v), met.Exp.RejectedVariant(v)
+		if acc+rej != wantTotal {
+			t.Errorf("%s: accepted %d + rejected %d != %d", v, acc, rej, wantTotal)
+		}
+	}
+
+	// Resume with everything already complete: totals restore from the
+	// journal into a fresh registry.
+	sw2 := variantSweep()
+	met2 := NewMetrics(obs.NewRegistry(), sw2.ActiveVariants()...)
+	rep, err := Run(context.Background(), sw2, &Options{CheckpointPath: ckpt, Metrics: met2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Resumed) != len(sw2.Values) {
+		t.Fatalf("resumed = %v", rep.Resumed)
+	}
+	if got := met2.Exp.SetsTotal(); got != wantTotal {
+		t.Errorf("restored sets.total = %d, want %d", got, wantTotal)
+	}
+	for _, v := range sw2.ActiveVariants() {
+		if a, b := met.Exp.AcceptedVariant(v), met2.Exp.AcceptedVariant(v); a != b {
+			t.Errorf("%s: restored accepted %d != original %d", v, b, a)
+		}
+	}
+}

@@ -63,6 +63,13 @@ type SystemConfig struct {
 	// WorstCaseModel everywhere. Stateful models (RandomModel) must
 	// not be shared between cores.
 	ModelFor func(core int) ExecModel
+	// FixedPriority switches every core from EDF-VD to static-priority
+	// dispatching; PrioritiesFor must then be set.
+	FixedPriority bool
+	// PrioritiesFor returns the priority order for a core's subset (a
+	// permutation of its task indices, e.g. fpamc.Priorities applied to
+	// the subset). Required when FixedPriority is set.
+	PrioritiesFor func(core int) []int
 }
 
 // SimulateSystem runs every core of a partitioned system independently
@@ -75,11 +82,20 @@ func SimulateSystem(cfg SystemConfig) *SystemStats {
 		if cfg.ModelFor != nil {
 			model = cfg.ModelFor(i)
 		}
+		var prios []int
+		if cfg.FixedPriority {
+			if cfg.PrioritiesFor == nil {
+				panic("sim: FixedPriority requires PrioritiesFor")
+			}
+			prios = cfg.PrioritiesFor(i)
+		}
 		out.Cores[i] = SimulateCore(CoreConfig{
-			Tasks:   sub.Tasks,
-			K:       cfg.K,
-			Horizon: cfg.Horizon,
-			Model:   model,
+			Tasks:         sub.Tasks,
+			K:             cfg.K,
+			Horizon:       cfg.Horizon,
+			Model:         model,
+			FixedPriority: cfg.FixedPriority,
+			Priorities:    prios,
 		})
 	}
 	return out

@@ -15,6 +15,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_PR2.json}"
+# The PR number is derived from the output name (BENCH_PR<N>.json), so
+# later PRs can re-run the same gate against the PR-2 baselines:
+#   scripts/bench.sh BENCH_PR5.json
+PR_NUM=$(basename "$OUT" | sed -n 's/^BENCH_PR\([0-9][0-9]*\)\.json$/\1/p')
+PR_NUM="${PR_NUM:-2}"
 
 # Pre-PR baselines (commit 92ce90e, go test -bench, -benchtime 10x for
 # Fig1, default for the micro benchmarks; single-core container).
@@ -55,8 +60,8 @@ SPEEDUP=$(awk -v a="$BASE_FIG1_NS" -v b="$FIG1_NS" 'BEGIN { printf "%.3f", a/b }
 
 cat > "$OUT" <<EOF
 {
-  "pr": 2,
-  "description": "allocation-free partitioning fast path + persistent sweep pipeline",
+  "pr": $PR_NUM,
+  "description": "allocation-free partitioning fast path + persistent sweep pipeline (PR-2 baselines)",
   "baseline_commit": "92ce90e",
   "baseline": {
     "fig1_nsu": {"ns_per_op": $BASE_FIG1_NS, "allocs_per_op": $BASE_FIG1_ALLOCS},
