@@ -320,6 +320,8 @@ func runFigures(ctx context.Context, cfg *config, stdout, stderr io.Writer, snap
 
 // writeMetrics persists the per-figure snapshots as indented JSON
 // (map keys sort, so the output is deterministic given equal counts).
+//
+//mc:deterministic metrics files diff across runs
 func writeMetrics(path string, snaps map[string]*obs.Snapshot, stderr io.Writer) error {
 	data, err := json.MarshalIndent(snaps, "", "  ")
 	if err != nil {
@@ -334,6 +336,8 @@ func writeMetrics(path string, snaps map[string]*obs.Snapshot, stderr io.Writer)
 
 // emit renders one figure's charts: CSV files (atomic write), CSV to
 // stdout, or tables with optional ASCII plots.
+//
+//mc:deterministic CSV/table output diffs across runs
 func emit(cfg *config, name string, res *experiments.Result, stdout, stderr io.Writer) error {
 	for _, ch := range res.Charts() {
 		switch {

@@ -3,17 +3,26 @@
 //
 //	go run ./cmd/mclint ./...            # whole module
 //	go run ./cmd/mclint ./internal/...   # subtree
+//	go run ./cmd/mclint -pass=allocfree,determinism ./...
 //	go run ./cmd/mclint -disable=feasdoc ./...
-//	go run ./cmd/mclint -list            # describe the rules
+//	go run ./cmd/mclint -json ./...      # machine-readable findings
+//	go run ./cmd/mclint -list            # describe the passes
 //
-// Findings are printed as file:line:col with the offending rule; the
-// exit status is 1 when any finding survives, 2 on load errors.
-// Suppress a single finding with a preceding comment:
+// Findings are printed as file:line:col with the offending pass (or as
+// a JSON array with -json); the exit status is 1 when any finding
+// survives, 2 on load errors. Suppress a single finding with a
+// preceding comment:
 //
-//	//lint:ignore mclint/<rule> <reason>
+//	//lint:ignore mclint/<pass> <reason>
+//
+// Cross-package facts — //mc:allocfree annotations on callees, backend
+// registration sites, the determinism call graph — are only complete
+// over the whole module, so analysis always runs over every package;
+// the CLI patterns select which packages' findings are printed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,53 +33,72 @@ import (
 )
 
 func main() {
-	disable := flag.String("disable", "", "comma-separated rule names to disable")
-	list := flag.Bool("list", false, "list the available rules and exit")
+	pass := flag.String("pass", "", "comma-separated pass names to run exclusively (default: all)")
+	disable := flag.String("disable", "", "comma-separated pass names to disable")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	list := flag.Bool("list", false, "list the available passes and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: mclint [-disable=rule,...] [-list] [packages]\n\npackages default to ./...\n")
+			"usage: mclint [-pass=pass,...] [-disable=pass,...] [-json] [-list] [packages]\n\npackages default to ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*disable, *list, flag.Args()))
+	os.Exit(run(*pass, *disable, *jsonOut, *list, flag.Args()))
 }
 
-func run(disable string, list bool, patterns []string) int {
+func run(pass, disable string, jsonOut, list bool, patterns []string) int {
 	loader, err := lint.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mclint:", err)
 		return 2
 	}
-	rules := lint.DefaultRules(loader.ModulePath)
+	passes := lint.DefaultPasses(loader.ModulePath)
 
 	if list {
-		for _, r := range rules {
-			fmt.Printf("%-12s %s\n", r.Name(), r.Doc())
+		for _, a := range passes {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
 
-	disabled := make(map[string]bool)
-	for _, name := range strings.Split(disable, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			disabled[name] = true
-		}
-	}
 	known := make(map[string]bool)
-	for _, n := range lint.RuleNames(loader.ModulePath) {
+	for _, n := range lint.PassNames(loader.ModulePath) {
 		known[n] = true
 	}
-	for name := range disabled {
-		if !known[name] {
-			fmt.Fprintf(os.Stderr, "mclint: unknown rule %q in -disable (try -list)\n", name)
-			return 2
+	nameSet := func(flagName, csv string) (map[string]bool, bool) {
+		set := make(map[string]bool)
+		for _, name := range strings.Split(csv, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				if !known[name] {
+					fmt.Fprintf(os.Stderr, "mclint: unknown pass %q in -%s (try -list)\n", name, flagName)
+					return nil, false
+				}
+				set[name] = true
+			}
 		}
+		return set, true
 	}
-	enabled := rules[:0]
-	for _, r := range rules {
-		if !disabled[r.Name()] {
-			enabled = append(enabled, r)
+	only, ok := nameSet("pass", pass)
+	if !ok {
+		return 2
+	}
+	disabled, ok := nameSet("disable", disable)
+	if !ok {
+		return 2
+	}
+	enabled := passes[:0]
+	for _, a := range passes {
+		if disabled[a.Name()] {
+			continue
 		}
+		if len(only) > 0 && !only[a.Name()] {
+			continue
+		}
+		enabled = append(enabled, a)
+	}
+	if len(enabled) == 0 {
+		fmt.Fprintln(os.Stderr, "mclint: the -pass/-disable combination enables no passes")
+		return 2
 	}
 
 	pkgs, err := loader.Load()
@@ -78,46 +106,92 @@ func run(disable string, list bool, patterns []string) int {
 		fmt.Fprintln(os.Stderr, "mclint:", err)
 		return 2
 	}
-	pkgs, err = filterPackages(pkgs, patterns, loader.ModulePath, loader.ModuleRoot)
+	selected, err := selectPackages(pkgs, patterns, loader.ModulePath, loader.ModuleRoot)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mclint:", err)
 		return 2
 	}
-	if len(pkgs) == 0 {
+	if len(selected) == 0 {
 		// A typo'd pattern silently passing would defeat the gate.
 		fmt.Fprintf(os.Stderr, "mclint: no packages match %s\n", strings.Join(patterns, " "))
 		return 2
 	}
 
-	runner := &lint.Runner{Rules: enabled, KnownRules: lint.RuleNames(loader.ModulePath)}
-	findings := runner.Run(pkgs)
-	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		pos := f.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	// Analyze the whole module (facts must be complete), then keep the
+	// findings belonging to the selected packages.
+	runner := &lint.Runner{Passes: enabled, KnownPasses: lint.PassNames(loader.ModulePath)}
+	all := runner.Run(pkgs)
+	findings := all[:0]
+	for _, f := range all {
+		if selected[f.Pkg] {
+			findings = append(findings, f)
 		}
-		fmt.Printf("%s: %s [mclint/%s]\n", pos, f.Message, f.Rule)
+	}
+
+	cwd, _ := os.Getwd()
+	relativize := func(name string) string {
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+		return name
+	}
+	if jsonOut {
+		type jsonFinding struct {
+			Pass    string `json:"pass"`
+			Package string `json:"package"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Pass:    f.Pass,
+				Package: f.Pkg,
+				File:    relativize(f.Pos.Filename),
+				Line:    f.Pos.Line,
+				Column:  f.Pos.Column,
+				Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mclint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			pos := f.Pos
+			pos.Filename = relativize(pos.Filename)
+			fmt.Printf("%s: %s [mclint/%s]\n", pos, f.Message, f.Pass)
+		}
+		if len(findings) > 0 {
+			fmt.Printf("mclint: %d finding(s) in %d package(s)\n", len(findings), len(selected))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Printf("mclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		return 1
 	}
 	return 0
 }
 
-// filterPackages keeps the packages matching the CLI patterns.
+// selectPackages returns the import paths matching the CLI patterns.
 // Supported forms: "./..." (everything), "./dir/..." (subtree),
 // "./dir" (exact), and plain import paths with or without "/...".
-func filterPackages(pkgs []*lint.Package, patterns []string, modulePath, moduleRoot string) ([]*lint.Package, error) {
+func selectPackages(pkgs []*lint.Package, patterns []string, modulePath, moduleRoot string) (map[string]bool, error) {
+	keep := make(map[string]bool)
 	if len(patterns) == 0 {
-		return pkgs, nil
+		for _, pkg := range pkgs {
+			keep[pkg.ImportPath] = true
+		}
+		return keep, nil
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		return nil, err
 	}
-	var keep []*lint.Package
 	for _, pkg := range pkgs {
 		for _, pat := range patterns {
 			ok, err := matchPattern(pkg.ImportPath, pat, modulePath, moduleRoot, cwd)
@@ -125,7 +199,7 @@ func filterPackages(pkgs []*lint.Package, patterns []string, modulePath, moduleR
 				return nil, err
 			}
 			if ok {
-				keep = append(keep, pkg)
+				keep[pkg.ImportPath] = true
 				break
 			}
 		}

@@ -56,6 +56,8 @@ type Report struct {
 
 // Feasible reports whether the analyzed subset is schedulable by
 // EDF-VD, i.e. whether at least one Theorem-1 condition holds.
+//
+//mc:allocfree accessor
 func (r *Report) Feasible() bool { return r.FeasibleK > 0 }
 
 // Clone deep-copies the report.
@@ -84,6 +86,8 @@ func Analyze(m *mc.UtilMatrix) *Report {
 // to keep the partitioning inner loop free of per-entry bounds checks;
 // every arithmetic operation is performed in the same order as the
 // entry-wise formulation, so reports are bit-identical to it.
+//
+//mc:allocfree report slices reused at capacity
 func AnalyzeInto(m *mc.UtilMatrix, r *Report) {
 	k := m.K()
 	d := m.Data() // d[(j-1)*k + (k'-1)] = U_j(k')
@@ -188,6 +192,8 @@ func CoreUtil(m *mc.UtilMatrix) float64 {
 // SimpleFeasible implements the pessimistic sufficient condition of
 // Eq. 4: sum_k U_k^Psi(k) <= 1, under which the subset is schedulable
 // by plain EDF (no virtual deadlines needed).
+//
+//mc:allocfree one matrix sum
 func SimpleFeasible(m *mc.UtilMatrix) bool {
 	return m.OwnLevelLoad() <= 1+Eps
 }
@@ -207,6 +213,8 @@ const fastGuard = 1e-12
 // mu(K-1) = U_{K-1}(K-1) + minTerm clearly above 1 rules out every
 // condition. Probe loops use it to skip the full lambda recursion for
 // hopelessly overloaded cores; false only means "run the analysis".
+//
+//mc:allocfree three matrix reads
 func FastInfeasible(m *mc.UtilMatrix) bool {
 	k := m.K()
 	if k < 2 {
@@ -217,6 +225,8 @@ func FastInfeasible(m *mc.UtilMatrix) bool {
 		d[(k-1)*k+(k-1)], d[(k-1)*k+(k-2)], d[(k-2)*k+(k-2)])
 }
 
+//
+//mc:allocfree pure arithmetic
 func fastInfeasible(d []float64, k int, ukk, ukk1, own1 float64) bool {
 	minTerm := ukk
 	if 1-ukk > Eps {
@@ -233,6 +243,8 @@ func fastInfeasible(d []float64, k int, ukk, ukk1, own1 float64) bool {
 // added. Every float operation replicates UtilMatrix.AddRow followed
 // by OwnLevelLoad, so the verdict is bit-identical to probing for
 // real — without mutating the matrix.
+//
+//mc:allocfree virtual: raw-slice reads only
 func SimpleFeasibleProbed(d []float64, k, crit int, urow []float64) bool {
 	var s float64
 	for j := 0; j < k; j++ {
@@ -249,6 +261,8 @@ func SimpleFeasibleProbed(d []float64, k, crit int, urow []float64) bool {
 // derived from the Eq. 5 min term bounding every Theorem-1 mu(k) from
 // below — evaluated on the virtually probed subset (same contract as
 // SimpleFeasibleProbed: no mutation, bit-identical verdict).
+//
+//mc:allocfree virtual: raw-slice reads only
 func FastInfeasibleProbed(d []float64, k, crit int, urow []float64) bool {
 	if k < 2 {
 		return false
@@ -268,6 +282,8 @@ func FastInfeasibleProbed(d []float64, k, crit int, urow []float64) bool {
 
 // minTermProbed computes the Eq. 5 min term of the virtually probed
 // subset with the exact float operations of AnalyzeInto.
+//
+//mc:allocfree pure arithmetic
 func minTermProbed(d []float64, k, crit int, urow []float64) float64 {
 	ukk := d[(k-1)*k+(k-1)]
 	ukk1 := d[(k-1)*k+(k-2)]
@@ -295,6 +311,8 @@ func minTermProbed(d []float64, k, crit int, urow []float64) float64 {
 // (in particular the condition-unused lambda_K never is), and the scan
 // stops at the first accept or the first invalid lambda (which poisons
 // every later theta in AnalyzeInto too).
+//
+//mc:allocfree mu lives in a stack array up to K=16
 func FeasibleProbed(d []float64, k, crit int, urow []float64) bool {
 	if k == 1 {
 		u := d[0]
@@ -306,7 +324,7 @@ func FeasibleProbed(d []float64, k, crit int, urow []float64) bool {
 	minTerm := minTermProbed(d, k, crit, urow)
 	var muBuf [16]float64
 	mu := muBuf[:]
-	if k > len(muBuf) {
+	if cap(mu) < k {
 		mu = make([]float64, k)
 	}
 	sumOwn := 0.0
@@ -368,6 +386,8 @@ func FeasibleProbed(d []float64, k, crit int, urow []float64) bool {
 // ulps of summation rounding separating this mu(K-1) from the
 // analysis's. Probe loops use it to skip the full analysis for cores
 // that cannot beat the incumbent candidate.
+//
+//mc:allocfree O(1) matrix reads
 func UtilFloorProbed(d []float64, k, crit int, urow []float64) float64 {
 	if k < 2 {
 		return math.Inf(-1)
@@ -458,6 +478,8 @@ func Lambdas(m *mc.UtilMatrix) (lambda []float64, ok []bool) {
 // d is the raw row-major K x K matrix data (UtilMatrix.Data); the sums
 // run in the same index order as the At-based formulation, so the
 // factors are bit-identical to it.
+//
+//mc:allocfree fills pre-sized slices
 func lambdas(d []float64, k int, lambda []float64, ok []bool) {
 	lambda[0], ok[0] = 0, true
 	prod := 1.0
@@ -505,6 +527,8 @@ func lambdas(d []float64, k int, lambda []float64, ok []bool) {
 //
 // For dual-criticality systems at mode 1 this reduces to the classical
 // EDF-VD factor x = U_2(1)/(1 - U_1(1)).
+//
+//mc:allocfree cumulative product
 func VDFactor(lambda []float64, mode, crit int) float64 {
 	if crit <= mode {
 		return 1
@@ -516,6 +540,8 @@ func VDFactor(lambda []float64, mode, crit int) float64 {
 	return f
 }
 
+//
+//mc:allocfree amortized: reallocates only on growth
 func resize(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -523,6 +549,8 @@ func resize(s []float64, n int) []float64 {
 	return s[:n]
 }
 
+//
+//mc:allocfree amortized: reallocates only on growth
 func resizeBool(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)

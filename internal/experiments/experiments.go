@@ -558,6 +558,8 @@ func (c *Cell) value(m Metric) float64 {
 }
 
 // Chart converts one metric of the result into a textplot chart.
+//
+//mc:deterministic chart series order is part of the golden output
 func (r *Result) Chart(m Metric) *textplot.Chart {
 	variants := r.Sweep.ActiveVariants()
 	ch := &textplot.Chart{
@@ -577,6 +579,8 @@ func (r *Result) Chart(m Metric) *textplot.Chart {
 }
 
 // Charts returns all four sub-figures.
+//
+//mc:deterministic chart order is part of the golden output
 func (r *Result) Charts() []*textplot.Chart {
 	out := make([]*textplot.Chart, 0, len(Metrics))
 	for _, m := range Metrics {

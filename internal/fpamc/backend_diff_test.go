@@ -1,0 +1,56 @@
+package fpamc
+
+import (
+	"math/rand"
+	"testing"
+
+	"catpa/internal/mc"
+)
+
+// TestBackendSchedulableMatchesAnalyze is the differential check behind
+// the backend's verdict-only analysis: on random dual-criticality
+// subsets, Backend.schedulable over task indices must agree with the
+// exported Schedulable over the corresponding task slice. The two run
+// the same fixed points with the demand sums in the same index order,
+// so agreement is exact, not approximate.
+func TestBackendSchedulableMatchesAnalyze(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		// Loads around the schedulability boundary so both verdicts occur.
+		ts := dualSet(rng, n, 0.25+rng.Float64()*0.6, 1)
+		b := &Backend{}
+		b.Reset(1, 2)
+		b.Prepare(ts)
+
+		// A random subset of the set, as indices.
+		var idx []int
+		var tasks []mc.Task
+		for i := range ts.Tasks {
+			if rng.Intn(3) > 0 {
+				idx = append(idx, i)
+				tasks = append(tasks, ts.Tasks[i])
+			}
+		}
+		got := b.schedulable(idx)
+		want := Schedulable(tasks)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): backend verdict %v, Schedulable %v\ntasks: %v",
+				trial, len(idx), got, want, tasks)
+		}
+	}
+}
+
+// TestBackendSchedulableEmpty pins the trivial boundary: an empty
+// subset is schedulable under both entry points.
+func TestBackendSchedulableEmpty(t *testing.T) {
+	b := &Backend{}
+	b.Reset(1, 2)
+	b.Prepare(&mc.TaskSet{})
+	if !b.schedulable(nil) {
+		t.Error("empty subset reported unschedulable")
+	}
+	if !Schedulable(nil) {
+		t.Error("Schedulable(nil) = false")
+	}
+}

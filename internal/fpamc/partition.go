@@ -29,30 +29,47 @@ func init() {
 // the candidate's MaxUtil), so CA-TPA's minimum-increment search
 // degenerates to first-feasible under its contribution ordering; the
 // ordering itself and the imbalance fallback remain active (see
-// DESIGN.md Section 11). Unlike the EDF-VD backend, the RTA fixed
-// points iterate over a trial task slice, so probes are cheap but not
-// allocation-free in the general case (the trial buffer is reused and
-// only grows).
+// DESIGN.md Section 11).
+//
+// Unlike the exported Analyze, the backend never materializes an
+// Analysis: cores hold task indices into the prepared set, the
+// deadline-monotonic order comes from a closure-free stable insertion
+// sort over reusable scratch, and the three AMC-rtb fixed points are
+// verdict-only loops that stop at the first failing bound. Every
+// verdict is identical to Schedulable on the corresponding task slice
+// (the demand sums run in the same index order with the same float
+// operations); the differential test in partition_test.go checks this
+// on random subsets.
 type Backend struct {
 	m  int
 	ts *mc.TaskSet
 
-	cores [][]mc.Task // per-core placed subsets, in allocation order
-	loads []float64   // per-core Eq. 4 own-level load (sum MaxUtil)
-	trial []mc.Task   // reusable probe buffer for Schedulable
+	cores [][]int   // per-core placed task indices, in allocation order
+	loads []float64 // per-core Eq. 4 own-level load (sum MaxUtil)
+
+	// Probe scratch, reused across calls and only ever grown: the
+	// trial subset's task indices, its deadline-monotonic order
+	// (positions into trial), and the rank of each position.
+	trial []int
+	prio  []int
+	rank  []int
 }
 
 // Name implements partition.Backend.
+//
+//mc:allocfree constant
 func (b *Backend) Name() string { return BackendName }
 
 // MaxLevels implements partition.Backend: AMC is dual-criticality.
+//
+//mc:allocfree constant
 func (b *Backend) MaxLevels() int { return 2 }
 
 // Reset implements partition.Backend.
 func (b *Backend) Reset(m, k int) {
 	b.m = m
 	if cap(b.cores) < m {
-		cores := make([][]mc.Task, m)
+		cores := make([][]int, m)
 		copy(cores, b.cores)
 		b.cores = cores
 	} else {
@@ -66,9 +83,13 @@ func (b *Backend) Reset(m, k int) {
 }
 
 // Prepare implements partition.Backend.
+//
+//mc:allocfree installs the set
 func (b *Backend) Prepare(ts *mc.TaskSet) { b.ts = ts }
 
 // Begin implements partition.Backend.
+//
+//mc:allocfree truncates per-core state in place
 func (b *Backend) Begin() {
 	for c := 0; c < b.m; c++ {
 		b.cores[c] = b.cores[c][:0]
@@ -80,15 +101,19 @@ func (b *Backend) Begin() {
 // c's subset plus task ti passes the AMC-rtb response-time test
 // (Eqs. rtb-LO/rtb-HI), the fixed-priority counterpart of the
 // Theorem-1 screens.
+//
+//mc:allocfree trial indices and sort scratch are reused across probes
 func (b *Backend) FeasibleWith(c, ti int) bool {
 	b.trial = append(b.trial[:0], b.cores[c]...)
-	b.trial = append(b.trial, b.ts.Tasks[ti])
-	return Schedulable(b.trial)
+	b.trial = append(b.trial, ti)
+	return b.schedulable(b.trial)
 }
 
 // ProbeUtil implements partition.Backend: the own-level load of core c
 // with task ti added, +Inf when the extended subset fails AMC-rtb.
 // The worst flag is ignored — the load metric has only one reading.
+//
+//mc:allocfree delegates to the scratch-based probe
 func (b *Backend) ProbeUtil(c, ti int, worst bool) float64 {
 	if !b.FeasibleWith(c, ti) {
 		return math.Inf(1)
@@ -98,34 +123,209 @@ func (b *Backend) ProbeUtil(c, ti int, worst bool) float64 {
 
 // KeepProbe implements partition.Backend. Probes carry no analysis
 // state worth caching — Place recomputes the load sum exactly.
+//
+//mc:allocfree no-op
 func (b *Backend) KeepProbe() {}
 
 // UtilFloor implements partition.Backend: the load metric is exact
 // whenever the probe is feasible, so the floor is the probe value
 // itself (without the feasibility check).
+//
+//mc:allocfree two reads and an add
 func (b *Backend) UtilFloor(c, ti int) float64 {
 	return b.loads[c] + b.ts.Tasks[ti].MaxUtil()
 }
 
-// Place implements partition.Backend.
+// Place implements partition.Backend. The core records only the task's
+// index — the prepared set owns the task values.
+//
+//mc:allocfree per-core index lists grow amortized
 func (b *Backend) Place(c, ti int, probed bool) {
-	b.cores[c] = append(b.cores[c], b.ts.Tasks[ti].Clone())
+	b.cores[c] = append(b.cores[c], ti)
 	b.loads[c] += b.ts.Tasks[ti].MaxUtil()
 }
 
 // OwnLoad implements partition.Backend.
+//
+//mc:allocfree accessor
 func (b *Backend) OwnLoad(c int) float64 { return b.loads[c] }
 
 // CoreUtil implements partition.Backend; worst is ignored (one
 // reading, see ProbeUtil).
+//
+//mc:allocfree accessor
 func (b *Backend) CoreUtil(c int, worst bool) float64 { return b.loads[c] }
 
 // ReportInto implements partition.Backend. FeasibleK and Lambda are
 // EDF-VD notions with no AMC counterpart; they stay zero and empty.
+//
+//mc:allocfree fills the caller-owned CoreInfo in place
 func (b *Backend) ReportInto(c int, ci *partition.CoreInfo) {
 	ci.Util = b.loads[c]
 	ci.FeasibleK = 0
 	ci.Lambda = ci.Lambda[:0]
+}
+
+// schedulable is the verdict-only AMC-rtb test over a subset given as
+// task indices into the prepared set. It reproduces Schedulable's
+// verdict exactly — same priority order (a stable insertion sort with
+// the Priorities comparison), same fixed points with the demand sums
+// accumulated in the same index order — without building an Analysis.
+//
+//mc:allocfree order and rank live in reusable scratch
+func (b *Backend) schedulable(idx []int) bool {
+	n := len(idx)
+	b.prio = resizeInts(b.prio, n)
+	b.rank = resizeInts(b.rank, n)
+	for i := 0; i < n; i++ {
+		b.prio[i] = i
+	}
+	// Stable insertion sort on positions: strict-before moves keep
+	// equal elements in input order, matching sort.SliceStable in
+	// Priorities.
+	for i := 1; i < n; i++ {
+		p := b.prio[i]
+		j := i
+		for j > 0 && b.priorityBefore(idx[p], idx[b.prio[j-1]]) {
+			b.prio[j] = b.prio[j-1]
+			j--
+		}
+		b.prio[j] = p
+	}
+	for pos, i := range b.prio {
+		b.rank[i] = pos
+	}
+	for i := 0; i < n; i++ {
+		if !b.taskSchedulable(idx, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// priorityBefore reports whether task a strictly precedes task b in
+// the deadline-monotonic order: shorter period first, ties toward the
+// higher criticality, then the smaller ID (the Priorities comparison).
+//
+//mc:allocfree three comparisons
+func (b *Backend) priorityBefore(a, c int) bool {
+	ta, tc := &b.ts.Tasks[a], &b.ts.Tasks[c]
+	//lint:ignore mclint/floateq deliberately exact: an epsilon here would break the strict weak ordering the sort contract requires
+	if ta.Period != tc.Period {
+		return ta.Period < tc.Period
+	}
+	if ta.Crit != tc.Crit {
+		return ta.Crit > tc.Crit
+	}
+	return ta.ID < tc.ID
+}
+
+// taskSchedulable checks the applicable AMC-rtb bounds of the task at
+// position i of idx, in the order analyzeTask derives them: LO for
+// everyone, then stable HI and the transition bound for
+// high-criticality tasks. Early exits are verdict-equivalent — each
+// fixed point depends only on task parameters and (for the transition
+// bound) the task's own LO response, never on another task's verdict.
+//
+//mc:allocfree three closure-free fixed points
+func (b *Backend) taskSchedulable(idx []int, i int) bool {
+	t := &b.ts.Tasks[idx[i]]
+	deadline := t.Period
+	lo := b.loResponse(idx, i, deadline)
+	if lo > deadline+Eps {
+		return false
+	}
+	if t.Crit < 2 {
+		return true
+	}
+	if b.hiResponse(idx, i, deadline) > deadline+Eps {
+		return false
+	}
+	return b.transitionResponse(idx, i, deadline, lo) <= deadline+Eps
+}
+
+// loResponse is the LO-mode fixed point of analyzeTask (everyone
+// interferes with level-1 budgets), inlined without the closure.
+//
+//mc:allocfree arithmetic over the prepared set
+func (b *Backend) loResponse(idx []int, i int, bound float64) float64 {
+	ts := b.ts
+	t := &ts.Tasks[idx[i]]
+	r := t.C(1)
+	for iter := 0; iter < maxIterations; iter++ {
+		demand := t.C(1)
+		for j := range idx {
+			if j != i && b.rank[j] < b.rank[i] {
+				demand += math.Ceil((r-Eps)/ts.Tasks[idx[j]].Period) * ts.Tasks[idx[j]].C(1)
+			}
+		}
+		if demand <= r+Eps || demand > bound+Eps {
+			return demand
+		}
+		r = demand
+	}
+	return math.Inf(1)
+}
+
+// hiResponse is the stable HI-mode fixed point (only high-criticality
+// tasks interfere, at level-2 budgets).
+//
+//mc:allocfree arithmetic over the prepared set
+func (b *Backend) hiResponse(idx []int, i int, bound float64) float64 {
+	ts := b.ts
+	t := &ts.Tasks[idx[i]]
+	r := t.C(2)
+	for iter := 0; iter < maxIterations; iter++ {
+		demand := t.C(2)
+		for j := range idx {
+			if j != i && b.rank[j] < b.rank[i] && ts.Tasks[idx[j]].Crit >= 2 {
+				demand += math.Ceil((r-Eps)/ts.Tasks[idx[j]].Period) * ts.Tasks[idx[j]].C(2)
+			}
+		}
+		if demand <= r+Eps || demand > bound+Eps {
+			return demand
+		}
+		r = demand
+	}
+	return math.Inf(1)
+}
+
+// transitionResponse is the AMC-rtb LO->HI fixed point: HI
+// interference at level-2 budgets over the whole window, LO
+// interference at level-1 budgets frozen at the task's own LO-mode
+// response loR.
+//
+//mc:allocfree arithmetic over the prepared set
+func (b *Backend) transitionResponse(idx []int, i int, bound, loR float64) float64 {
+	ts := b.ts
+	t := &ts.Tasks[idx[i]]
+	r := t.C(2)
+	for iter := 0; iter < maxIterations; iter++ {
+		demand := t.C(2)
+		for j := range idx {
+			if j == i || b.rank[j] >= b.rank[i] {
+				continue
+			}
+			if ts.Tasks[idx[j]].Crit >= 2 {
+				demand += math.Ceil((r-Eps)/ts.Tasks[idx[j]].Period) * ts.Tasks[idx[j]].C(2)
+			} else {
+				demand += math.Ceil((loR-Eps)/ts.Tasks[idx[j]].Period) * ts.Tasks[idx[j]].C(1)
+			}
+		}
+		if demand <= r+Eps || demand > bound+Eps {
+			return demand
+		}
+		r = demand
+	}
+	return math.Inf(1)
+}
+
+//mc:allocfree amortized: reallocates only on growth
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // Partition allocates a dual-criticality task set onto m cores under

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AllocFree rejects allocation-introducing constructs inside functions
+// annotated //mc:allocfree — the static twin of the AllocsPerRun == 0
+// benchmarks guarding the partitioning fast path. The pass is a
+// syntactic over-approximation of the compiler's escape analysis,
+// tuned so the repository's sanctioned amortization idioms pass and
+// everything else fails loudly:
+//
+//   - append is allowed only in the slab-reuse form x = append(x, ...)
+//     (including x = append(x[:0], ...)), which amortizes to zero
+//     steady-state allocations; any other append may grow the heap on
+//     every call.
+//   - make and new are allowed only inside an if branch whose condition
+//     consults cap(...) — the cap-guarded growth idiom that allocates
+//     once and reuses thereafter.
+//   - function literals are allowed only as direct arguments to
+//     module-internal named functions (which must themselves be
+//     annotated, so their use of the closure is checked at their own
+//     definition); a closure passed to an unknown callee or stored
+//     anywhere must be assumed to escape.
+//   - converting a concrete non-pointer-shaped value to an interface
+//     type boxes it on the heap; pointer-shaped values (pointers, maps,
+//     chans, funcs) fit the interface word and stay free, as do
+//     interface-to-interface assignments.
+//   - variadic calls that pack one or more arguments allocate the
+//     backing slice; spreading an existing slice (f(xs...)) does not.
+//   - map literals, make(map), and map-index writes; slice literals;
+//     &composite literals; string concatenation; fmt calls; and go
+//     statements all allocate by construction.
+//   - every statically resolved module-internal callee must carry
+//     //mc:allocfree too, so deleting one annotation breaks the build
+//     of every annotated caller; interface-method and other dynamic
+//     calls are exempt (their concrete implementations are annotated
+//     at their own definitions).
+//
+// Arguments to panic(...) are exempt wholesale: the crash path may
+// format messages.
+type AllocFree struct{}
+
+// Name implements Analyzer.
+func (*AllocFree) Name() string { return "allocfree" }
+
+// Doc implements Analyzer.
+func (*AllocFree) Doc() string {
+	return "functions annotated //mc:allocfree must not contain allocation-introducing constructs"
+}
+
+// Run implements Analyzer.
+func (a *AllocFree) Run(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !funcAnnotated(p.Facts, fn, FactAllocFree) {
+				continue
+			}
+			checkAllocFree(p, fd, fn)
+		}
+	}
+}
+
+// checkAllocFree walks one annotated function body. A pre-walk collects
+// the exempt regions and sanctioned idiom sites; the main walk then
+// flags everything else.
+func checkAllocFree(p *Pass, fd *ast.FuncDecl, fn *types.Func) {
+	info := p.Pkg.Info
+
+	var panicArgs intervals // panic(...) arguments: the crash path may allocate
+	var capGuards intervals // bodies of if-statements guarded by cap(...)
+	slabAppends := make(map[*ast.CallExpr]bool)
+	allowedLits := make(map[*ast.FuncLit]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinPanic(p.Pkg, n.Fun) && len(n.Args) == 1 {
+				arg := n.Args[0]
+				panicArgs = append(panicArgs, span{arg.Pos(), arg.End()})
+			}
+			// A closure handed directly to a module-internal named plain
+			// function does not escape through it: the callee carries its
+			// own //mc:allocfree obligation, which forbids it from storing
+			// the func value anywhere heap-bound.
+			callee := staticCallee(info, n.Fun)
+			if callee != nil && !recvIsInterface(callee) &&
+				callee.Pkg() != nil && p.Pkg.InModule(callee.Pkg().Path()) {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						allowedLits[lit] = true
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if condConsultsCap(info, n.Cond) {
+				capGuards = append(capGuards, span{n.Body.Pos(), n.Body.End()})
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isBuiltin(info, call.Fun, "append") && len(call.Args) > 0 {
+					base := call.Args[0]
+					if sl, ok := base.(*ast.SliceExpr); ok {
+						base = sl.X
+					}
+					if types.ExprString(n.Lhs[0]) == types.ExprString(base) {
+						slabAppends[call] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n != nil && panicArgs.contains(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(p, n, slabAppends, capGuards)
+		case *ast.FuncLit:
+			if !allowedLits[n] {
+				p.Report(n, "closure must be assumed to escape to the heap; hoist the state or pass it to a module-internal function")
+				return false
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				p.Report(n, "slice literal allocates its backing array; reuse a slab")
+			case *types.Map:
+				p.Report(n, "map literal allocates; hot paths must not build maps")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					p.Report(n, "address of composite literal escapes to the heap; reuse a preallocated value")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n.X)) {
+				p.Report(n, "string concatenation allocates; precompute the string outside the hot path")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				p.Report(n, "string concatenation allocates; precompute the string outside the hot path")
+			}
+			for _, lhs := range n.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok && isMapType(info.TypeOf(idx.X)) {
+					p.Report(lhs, "map write may rehash and allocate; hot paths must use slice-indexed state")
+				}
+			}
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						if boxes(info, n.Rhs[i], info.TypeOf(n.Lhs[i])) {
+							p.Report(n.Rhs[i], "assignment boxes a concrete value into an interface, allocating")
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, res := range n.Results {
+					if boxes(info, res, sig.Results().At(i).Type()) {
+						p.Report(res, "return boxes a concrete value into an interface, allocating")
+					}
+				}
+			}
+		case *ast.GoStmt:
+			p.Report(n, "go statement allocates a goroutine stack")
+		}
+		return true
+	})
+}
+
+// checkAllocCall applies the call-shaped allocfree checks: builtin
+// growth idioms, fmt, unannotated module callees, variadic fan-in, and
+// argument boxing.
+func checkAllocCall(p *Pass, call *ast.CallExpr, slabAppends map[*ast.CallExpr]bool, capGuards intervals) {
+	info := p.Pkg.Info
+
+	// Conversions: T(x) boxes when T is an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxes(info, call.Args[0], tv.Type) {
+			p.Report(call, "conversion boxes a concrete value into an interface, allocating")
+		}
+		return
+	}
+
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[ident].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if !slabAppends[call] {
+					p.Report(call, "append outside the slab-reuse idiom (x = append(x, ...)) may grow the heap on every call")
+				}
+			case "make":
+				if !capGuards.contains(call.Pos()) {
+					p.Report(call, "make outside a cap-guarded growth branch (if cap(s) < n { ... }) allocates on every call")
+				}
+			case "new":
+				if !capGuards.contains(call.Pos()) {
+					p.Report(call, "new allocates; reuse a preallocated value")
+				}
+			}
+			return
+		}
+	}
+
+	fn := staticCallee(info, call.Fun)
+	if fn != nil && fn.Pkg() != nil {
+		switch {
+		case fn.Pkg().Path() == "fmt":
+			p.Report(call, "fmt.%s allocates (boxing and formatting); hot paths must not format", fn.Name())
+			return
+		case p.Pkg.InModule(fn.Pkg().Path()) && !recvIsInterface(fn):
+			if !funcAnnotated(p.Facts, fn, FactAllocFree) {
+				p.Report(call, "calls %s, which is not annotated //mc:allocfree; annotate the callee or hoist the call off the hot path", fn.FullName())
+			}
+		}
+	}
+
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	np := sig.Params().Len()
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= np {
+		p.Report(call, "variadic call packs %d argument(s) into a freshly allocated slice", len(call.Args)-np+1)
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case !sig.Variadic() || i < np-1:
+			if i < np {
+				pt = sig.Params().At(i).Type()
+			}
+		case call.Ellipsis != token.NoPos:
+			pt = sig.Params().At(np - 1).Type()
+		default:
+			if sl, ok := sig.Params().At(np - 1).Type().Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if boxes(info, arg, pt) {
+			p.Report(arg, "argument boxes a concrete value into an interface parameter, allocating")
+		}
+	}
+}
+
+// condConsultsCap reports whether the if condition contains a call to
+// the builtin cap — the signature of the amortized-growth guard.
+func condConsultsCap(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call.Fun, "cap") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// boxes reports whether assigning expr to a target of type "target"
+// converts a concrete value into an interface in a way that allocates:
+// the target is an interface, the value is concrete, and its
+// representation does not fit the interface data word. Pointer-shaped
+// values (pointers, maps, channels, funcs) fit; everything else —
+// including ints, floats, strings, slices and structs — is copied to
+// the heap. nil and interface-typed values never box. Type parameters
+// are not interfaces at run time and are skipped.
+func boxes(info *types.Info, expr ast.Expr, target types.Type) bool {
+	if expr == nil || target == nil {
+		return false
+	}
+	if _, isTP := types.Unalias(target).(*types.TypeParam); isTP {
+		return false
+	}
+	if !types.IsInterface(target) {
+		return false
+	}
+	t := info.TypeOf(expr)
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	if basic, ok := t.(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}

@@ -20,32 +20,40 @@ import (
 // registration site is a latent crash the test matrix can miss. The
 // validity predicate is partition.ValidBackendName itself, so the
 // static rule and the runtime check can never drift apart.
+//
+// Backend registration is a module-wide namespace (partition registers
+// "edfvd", fpamc registers "amcrtb"), so the pass is a Collector: the
+// first-site index lives in the run's fact store, scoped to one
+// Runner.Run rather than to the analyzer value's lifetime.
 type BackendReg struct {
 	// PartitionPath is the import path of the partition package, whose
-	// RegisterBackend function anchors the rule.
+	// RegisterBackend function anchors the pass.
 	PartitionPath string
-
-	// seen maps each constant backend name to its first registration
-	// site. It deliberately persists across Check calls: backend
-	// registration is a module-wide namespace (partition registers
-	// "edfvd", fpamc registers "amcrtb"), so duplicates must be caught
-	// across packages, not just within one.
-	seen map[string]token.Position
 }
 
-// Name implements Rule.
+// factBackendSites is the global fact key under which the collector
+// keeps its name -> first-registration-site index.
+const factBackendSites = "backendreg.sites"
+
+// Name implements Analyzer.
 func (*BackendReg) Name() string { return "backendreg" }
 
-// Doc implements Rule.
+// Doc implements Analyzer.
 func (*BackendReg) Doc() string {
 	return "backend names must be constant lowercase identifiers, each registered at one site"
 }
 
-// Check implements Rule.
-func (r *BackendReg) Check(pkg *Package, report Reporter) {
-	if r.seen == nil {
-		r.seen = make(map[string]token.Position)
+// Collect implements Collector. All checking happens here — the
+// collector visits packages in deterministic (import-path) order, so
+// "first site wins" is stable, and reporting during collection goes
+// through the same suppression filter as Run-phase reporting.
+func (r *BackendReg) Collect(p *Pass) {
+	seen, ok := globalFact[map[string]token.Position](p.Facts, factBackendSites)
+	if !ok {
+		seen = make(map[string]token.Position)
+		p.Facts.SetGlobal(factBackendSites, seen)
 	}
+	pkg := p.Pkg
 	for _, file := range pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -55,23 +63,27 @@ func (r *BackendReg) Check(pkg *Package, report Reporter) {
 			arg := call.Args[0]
 			tv, ok := pkg.Info.Types[arg]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				report(arg, "backend name passed to RegisterBackend must be a compile-time constant string")
+				p.Report(arg, "backend name passed to RegisterBackend must be a compile-time constant string")
 				return true
 			}
 			name := constant.StringVal(tv.Value)
 			if !partition.ValidBackendName(name) {
-				report(arg, "backend name %q is malformed; names are lowercase identifiers like %q", name, "amcrtb")
+				p.Report(arg, "backend name %q is malformed; names are lowercase identifiers like %q", name, "amcrtb")
 				return true
 			}
-			if first, dup := r.seen[name]; dup {
-				report(arg, "backend %q is also registered at %s; each backend may be registered exactly once", name, first)
+			if first, dup := seen[name]; dup {
+				p.Report(arg, "backend %q is also registered at %s; each backend may be registered exactly once", name, first)
 				return true
 			}
-			r.seen[name] = pkg.Fset.Position(arg.Pos())
+			seen[name] = pkg.Fset.Position(arg.Pos())
 			return true
 		})
 	}
 }
+
+// Run implements Analyzer. The pass is whole-module by nature, so all
+// of its work happens in Collect.
+func (*BackendReg) Run(*Pass) {}
 
 // isRegisterBackend reports whether fun resolves to the
 // partition.RegisterBackend function, whether spelled as a selector

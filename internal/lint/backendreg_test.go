@@ -2,8 +2,8 @@ package lint
 
 import "testing"
 
-func backendRegRule() []Rule {
-	return []Rule{&BackendReg{PartitionPath: "catpa/internal/partition"}}
+func backendRegRule() []Analyzer {
+	return []Analyzer{&BackendReg{PartitionPath: "catpa/internal/partition"}}
 }
 
 func TestBackendRegFlagsBadNames(t *testing.T) {
@@ -71,11 +71,11 @@ func wire(be func() partition.Backend) {
 	if err != nil {
 		t.Fatalf("CheckSource: %v", err)
 	}
-	runner := &Runner{Rules: backendRegRule(), KnownRules: RuleNames("catpa")}
+	runner := &Runner{Passes: backendRegRule(), KnownPasses: PassNames("catpa")}
 	findings := runner.Run([]*Package{pkgA, pkgB})
 	wantLines(t, findings, "backendreg", 6)
 	for _, f := range findings {
-		if f.Rule == "backendreg" && f.Pos.Filename != "fixb.go" {
+		if f.Pass == "backendreg" && f.Pos.Filename != "fixb.go" {
 			t.Errorf("duplicate flagged in %s, want fixb.go", f.Pos.Filename)
 		}
 	}

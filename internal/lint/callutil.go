@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// staticCallee resolves the function a call expression invokes when the
+// callee is named statically — a plain identifier, a selector, or a
+// generic instantiation of either. Calls through stored func values
+// return nil. For interface method calls the result is the interface's
+// method object (recvIsInterface distinguishes it from a concrete one).
+func staticCallee(info *types.Info, fun ast.Expr) *types.Func {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		return staticCallee(info, f.X)
+	case *ast.IndexExpr:
+		return staticCallee(info, f.X)
+	case *ast.IndexListExpr:
+		return staticCallee(info, f.X)
+	}
+	return nil
+}
+
+// recvIsInterface reports whether fn is declared on an interface, i.e.
+// calls to it dispatch dynamically.
+func recvIsInterface(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// isBuiltin reports whether fun denotes the predeclared function name
+// (append, make, cap, ...).
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	ident, ok := fun.(*ast.Ident)
+	if !ok || ident.Name != name {
+		return false
+	}
+	_, ok = info.Uses[ident].(*types.Builtin)
+	return ok
+}
+
+// span is a half-open source position interval [lo, hi).
+type span struct{ lo, hi token.Pos }
+
+// intervals is a set of spans with containment queries; passes use it
+// to mark exempt subtrees (panic arguments, cap-guarded growth
+// branches, atomic call expressions) collected in a pre-walk.
+type intervals []span
+
+func (iv intervals) contains(p token.Pos) bool {
+	for _, s := range iv {
+		if s.lo <= p && p < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isStringType reports whether t's underlying type is a string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -17,16 +17,17 @@ type CtxFirst struct {
 	Packages []string
 }
 
-// Name implements Rule.
+// Name implements Analyzer.
 func (*CtxFirst) Name() string { return "ctxfirst" }
 
-// Doc implements Rule.
+// Doc implements Analyzer.
 func (*CtxFirst) Doc() string {
 	return "exported functions in runner/experiments taking a context.Context must take it first"
 }
 
-// Check implements Rule.
-func (r *CtxFirst) Check(pkg *Package, report Reporter) {
+// Run implements Analyzer.
+func (r *CtxFirst) Run(p *Pass) {
+	pkg := p.Pkg
 	enforced := false
 	for _, p := range r.Packages {
 		if pkg.ImportPath == p {
@@ -53,7 +54,7 @@ func (r *CtxFirst) Check(pkg *Package, report Reporter) {
 					n = 1
 				}
 				if isContextType(pkg.Info.TypeOf(field.Type)) && idx > 0 {
-					report(field, "exported %s takes context.Context as parameter %d; the context must be the first parameter", fd.Name.Name, idx+1)
+					p.Report(field, "exported %s takes context.Context as parameter %d; the context must be the first parameter", fd.Name.Name, idx+1)
 				}
 				idx += n
 			}

@@ -24,7 +24,7 @@ func unexported(n int, ctx context.Context) error { return ctx.Err() }
 func NoContext(a, b int) int { return a + b }
 `
 	rule := &CtxFirst{Packages: []string{"catpa/internal/runner"}}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/runner", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/runner", "fix.go", src)
 	wantLines(t, findings, "ctxfirst", 9, 11, 15)
 }
 
@@ -40,7 +40,7 @@ func GroupedFirst(ctx, ctx2 context.Context, n int) error { return ctx.Err() }
 func GroupedLate(n, m int, ctx context.Context) error { return ctx.Err() }
 `
 	rule := &CtxFirst{Packages: []string{"catpa/internal/runner"}}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/runner", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/runner", "fix.go", src)
 	wantLines(t, findings, "ctxfirst", 7)
 }
 
@@ -52,7 +52,7 @@ import "context"
 func Elsewhere(n int, ctx context.Context) error { return ctx.Err() }
 `
 	rule := &CtxFirst{Packages: []string{"catpa/internal/runner"}}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/sim", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/sim", "fix.go", src)
 	wantLines(t, findings, "ctxfirst")
 }
 
@@ -65,6 +65,6 @@ import "context"
 func Pinned(n int, ctx context.Context) error { return ctx.Err() }
 `
 	rule := &CtxFirst{Packages: []string{"catpa/internal/runner"}}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/runner", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/runner", "fix.go", src)
 	wantLines(t, findings, "ctxfirst")
 }

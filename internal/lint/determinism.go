@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Determinism is the static twin of the byte-identical checkpoint and
+// golden-file tests: every function statically reachable (over the
+// module call graph) from a //mc:deterministic serialization root must
+// be free of reproducibility hazards. The roots are the writers —
+// journal records, CSV emission, metrics snapshots — and the hazards
+// are the constructs whose output varies across runs with identical
+// inputs:
+//
+//   - ranging over a map (Go randomizes iteration order), unless the
+//     loop is the sanctioned key-collection idiom: a body consisting
+//     only of append assignments, in a function that also calls a
+//     sort/slices sorting routine before the keys are used;
+//   - time.Now and time.Since;
+//   - the global math/rand functions (the globalrand pass bans these
+//     everywhere; here they additionally taint);
+//   - sync.Map.Range (unordered and racy with respect to writers).
+//
+// The call graph follows statically resolved module-internal calls
+// only. Dynamic calls through interfaces or stored func values are not
+// traced — the known soundness hole, kept deliberately: tracing every
+// interface to every implementation would taint the whole module. The
+// runtime golden tests remain the backstop for dynamic dispatch.
+type Determinism struct{}
+
+// Name implements Analyzer.
+func (*Determinism) Name() string { return "determinism" }
+
+// Doc implements Analyzer.
+func (*Determinism) Doc() string {
+	return "no unsorted map ranges, time.Now, global rand, or sync.Map.Range reachable from //mc:deterministic roots"
+}
+
+const (
+	// factDetCalls holds, per *types.Func, the []*types.Func of its
+	// statically resolved module-internal callees.
+	factDetCalls = "determinism.calls"
+	// factDetReach holds the memoized reachability closure:
+	// map[types.Object]string from function to the name of a
+	// //mc:deterministic root that reaches it.
+	factDetReach = "determinism.reachable"
+)
+
+// Collect implements Collector: it records the module call-graph edges
+// out of every function declared in the package, so the Run phase can
+// compute reachability from the annotated roots over the whole module.
+func (d *Determinism) Collect(p *Pass) {
+	pkg := p.Pkg
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			var callees []*types.Func
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(pkg.Info, call.Fun)
+				if callee != nil && callee.Pkg() != nil && pkg.InModule(callee.Pkg().Path()) {
+					callees = append(callees, callee)
+				}
+				return true
+			})
+			if len(callees) > 0 {
+				p.Facts.SetObj(fn, factDetCalls, callees)
+			}
+		}
+	}
+}
+
+// Run implements Analyzer. The reachability closure is computed once
+// per Runner.Run (on the first package) and memoized in the fact store.
+func (d *Determinism) Run(p *Pass) {
+	reach, ok := globalFact[map[types.Object]string](p.Facts, factDetReach)
+	if !ok {
+		reach = reachableFromRoots(p.Facts)
+		p.Facts.SetGlobal(factDetReach, reach)
+	}
+	pkg := p.Pkg
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			root, tainted := reach[fn]
+			if !tainted {
+				continue
+			}
+			reportHazards(p, fd, root)
+		}
+	}
+}
+
+// reachableFromRoots walks the collected call graph breadth-first from
+// every //mc:deterministic function. Roots are visited in name order so
+// a function reachable from several roots is always attributed to the
+// same one.
+func reachableFromRoots(facts *Facts) map[types.Object]string {
+	roots := facts.ObjsWith(FactDeterministic)
+	sort.Slice(roots, func(i, j int) bool {
+		a, _ := roots[i].(*types.Func)
+		b, _ := roots[j].(*types.Func)
+		return a.FullName() < b.FullName()
+	})
+	reach := make(map[types.Object]string)
+	for _, root := range roots {
+		fn, ok := root.(*types.Func)
+		if !ok {
+			continue
+		}
+		name := fn.FullName()
+		queue := []types.Object{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if _, seen := reach[cur]; seen {
+				continue
+			}
+			reach[cur] = name
+			if v, ok := facts.Obj(cur, factDetCalls); ok {
+				for _, callee := range v.([]*types.Func) {
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// reportHazards flags every reproducibility hazard in one tainted
+// function body, naming the deterministic root that reaches it.
+func reportHazards(p *Pass, fd *ast.FuncDecl, root string) {
+	pkg := p.Pkg
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pkg.Info.TypeOf(n.X)) && !keyCollectionExempt(pkg, fd, n) {
+				p.Report(n, "map iteration order is randomized; on a path reachable from deterministic root %s, iterate sorted keys instead", root)
+			}
+		case *ast.CallExpr:
+			fn := staticCallee(pkg.Info, n.Fun)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg().Path() == "time" && (fn.Name() == "Now" || fn.Name() == "Since"):
+				p.Report(n, "time.%s is nondeterministic; reachable from deterministic root %s — thread the timestamp in or drop it from serialized output", fn.Name(), root)
+			case isGlobalRandFunc(fn):
+				p.Report(n, "global %s.%s is nondeterministic; reachable from deterministic root %s — thread a seeded *rand.Rand", fn.Pkg().Path(), fn.Name(), root)
+			case fn.Pkg().Path() == "sync" && fn.Name() == "Range":
+				p.Report(n, "sync.Map.Range order is unspecified; reachable from deterministic root %s — snapshot into a sorted slice first", root)
+			}
+		}
+		return true
+	})
+}
+
+// keyCollectionExempt recognizes the sanctioned sorted-iteration idiom:
+// the range body only appends (collecting keys), and the enclosing
+// function also calls a sort or slices routine, so the collected keys
+// are ordered before anything consumes them.
+func keyCollectionExempt(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pkg.Info, call.Fun, "append") {
+			return false
+		}
+	}
+	sorts := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := staticCallee(pkg.Info, call.Fun); fn != nil && fn.Pkg() != nil {
+			if path := fn.Pkg().Path(); path == "sort" || path == "slices" {
+				sorts = true
+			}
+		}
+		return !sorts
+	})
+	return sorts
+}

@@ -19,10 +19,10 @@ type FeasDoc struct {
 	Packages []string
 }
 
-// Name implements Rule.
+// Name implements Analyzer.
 func (*FeasDoc) Name() string { return "feasdoc" }
 
-// Doc implements Rule.
+// Doc implements Analyzer.
 func (*FeasDoc) Doc() string {
 	return "exported feasibility predicates in edfvd/partition must cite their equation or algorithm"
 }
@@ -30,8 +30,9 @@ func (*FeasDoc) Doc() string {
 // citation matches the accepted forms of a paper reference.
 var citation = regexp.MustCompile(`Eqs?\.|Equation|Theorem|Proposition|Lemma|Algorithm|Section`)
 
-// Check implements Rule.
-func (r *FeasDoc) Check(pkg *Package, report Reporter) {
+// Run implements Analyzer.
+func (r *FeasDoc) Run(p *Pass) {
+	pkg := p.Pkg
 	enforced := false
 	for _, p := range r.Packages {
 		if pkg.ImportPath == p {
@@ -50,9 +51,9 @@ func (r *FeasDoc) Check(pkg *Package, report Reporter) {
 			}
 			switch doc := fd.Doc.Text(); {
 			case doc == "":
-				report(fd.Name, "exported feasibility predicate %s has no doc comment; cite the equation or algorithm it implements", fd.Name.Name)
+				p.Report(fd.Name, "exported feasibility predicate %s has no doc comment; cite the equation or algorithm it implements", fd.Name.Name)
 			case !citation.MatchString(doc):
-				report(fd.Name, "doc comment of %s must cite the equation, theorem or algorithm it implements (e.g. \"Eq. 7\", \"Theorem 1\")", fd.Name.Name)
+				p.Report(fd.Name, "doc comment of %s must cite the equation, theorem or algorithm it implements (e.g. \"Eq. 7\", \"Theorem 1\")", fd.Name.Name)
 			}
 		}
 	}

@@ -27,7 +27,7 @@ func Util() float64 { return 0 }
 func unexportedNeedsNothing() bool { return false }
 `
 	rule := &FeasDoc{Packages: []string{"catpa/internal/edfvd"}}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/edfvd", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/edfvd", "fix.go", src)
 	wantLines(t, findings, "feasdoc", 11, 13)
 }
 
@@ -43,7 +43,7 @@ func (r *Report) Feasible() bool { return true }
 func (r *Report) Bad() bool { return false }
 `
 	rule := &FeasDoc{Packages: []string{"catpa/internal/edfvd"}}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/edfvd", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/edfvd", "fix.go", src)
 	wantLines(t, findings, "feasdoc", 9)
 }
 
@@ -53,6 +53,6 @@ func TestFeasDocScopedToConfiguredPackages(t *testing.T) {
 func Feasible() bool { return true }
 `
 	rule := &FeasDoc{Packages: []string{"catpa/internal/edfvd", "catpa/internal/partition"}}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/other", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/other", "fix.go", src)
 	wantLines(t, findings, "feasdoc")
 }

@@ -20,16 +20,17 @@ type FloatEq struct {
 	Allow []string
 }
 
-// Name implements Rule.
+// Name implements Analyzer.
 func (*FloatEq) Name() string { return "floateq" }
 
-// Doc implements Rule.
+// Doc implements Analyzer.
 func (*FloatEq) Doc() string {
 	return "no ==/!= between floating-point expressions outside the epsilon-helper allowlist"
 }
 
-// Check implements Rule.
-func (r *FloatEq) Check(pkg *Package, report Reporter) {
+// Run implements Analyzer.
+func (r *FloatEq) Run(p *Pass) {
+	pkg := p.Pkg
 	for _, file := range pkg.Files {
 		if r.allowed(pkg.FileOf(file.Pos())) {
 			continue
@@ -40,7 +41,7 @@ func (r *FloatEq) Check(pkg *Package, report Reporter) {
 				return true
 			}
 			if isFloat(pkg.Info.TypeOf(be.X)) || isFloat(pkg.Info.TypeOf(be.Y)) {
-				report(be, "floating-point %s comparison; use mc.ApproxEq (or an explicit epsilon) instead", be.Op)
+				p.Report(be, "floating-point %s comparison; use mc.ApproxEq (or an explicit epsilon) instead", be.Op)
 			}
 			return true
 		})

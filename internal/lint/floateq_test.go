@@ -19,7 +19,7 @@ func named(a, b myFloat) bool { return a != b }
 
 func viaExpr(a, b, c float64) bool { return a+b == c*2 }
 `
-	findings := checkFixture(t, []Rule{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
 	wantLines(t, findings, "floateq", 3, 5, 7, 9, 13, 15)
 }
 
@@ -40,7 +40,7 @@ func tolerant(a, b, eps float64) bool {
 	return d <= eps
 }
 `
-	findings := checkFixture(t, []Rule{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{&FloatEq{}}, "catpa/internal/fix", "fix.go", src)
 	wantLines(t, findings, "floateq")
 }
 
@@ -50,9 +50,9 @@ func TestFloatEqAllowlist(t *testing.T) {
 func exact(a, b float64) bool { return a == b }
 `
 	rule := &FloatEq{Allow: []string{"internal/mc/feq.go"}}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/fix", "internal/mc/feq.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/fix", "internal/mc/feq.go", src)
 	wantLines(t, findings, "floateq")
 
-	findings = checkFixture(t, []Rule{rule}, "catpa/internal/fix", "other.go", src)
+	findings = checkFixture(t, []Analyzer{rule}, "catpa/internal/fix", "other.go", src)
 	wantLines(t, findings, "floateq", 3)
 }

@@ -15,10 +15,10 @@ import (
 // equivalents) remain legal, as do all methods on *rand.Rand.
 type GlobalRand struct{}
 
-// Name implements Rule.
+// Name implements Analyzer.
 func (*GlobalRand) Name() string { return "globalrand" }
 
-// Doc implements Rule.
+// Doc implements Analyzer.
 func (*GlobalRand) Doc() string {
 	return "no global math/rand functions in non-test code; thread a seeded *rand.Rand"
 }
@@ -33,9 +33,10 @@ var randConstructors = map[string]bool{
 	"NewChaCha8": true, // math/rand/v2
 }
 
-// Check implements Rule. It walks identifier uses rather than call
+// Run implements Analyzer. It walks identifier uses rather than call
 // expressions so that passing rand.Float64 as a value is caught too.
-func (*GlobalRand) Check(pkg *Package, report Reporter) {
+func (*GlobalRand) Run(p *Pass) {
+	pkg := p.Pkg
 	for _, file := range pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			ident, ok := n.(*ast.Ident)
@@ -43,21 +44,28 @@ func (*GlobalRand) Check(pkg *Package, report Reporter) {
 				return true
 			}
 			fn, ok := pkg.Info.Uses[ident].(*types.Func)
-			if !ok || fn.Pkg() == nil {
+			if !ok || !isGlobalRandFunc(fn) {
 				return true
 			}
-			path := fn.Pkg().Path()
-			if path != "math/rand" && path != "math/rand/v2" {
-				return true
-			}
-			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-				return true // methods on *rand.Rand are fine
-			}
-			if randConstructors[fn.Name()] {
-				return true
-			}
-			report(ident, "use of global %s.%s; thread a seeded *rand.Rand for reproducibility", path, fn.Name())
+			p.Report(ident, "use of global %s.%s; thread a seeded *rand.Rand for reproducibility", fn.Pkg().Path(), fn.Name())
 			return true
 		})
 	}
+}
+
+// isGlobalRandFunc reports whether fn is a package-level math/rand
+// function drawing from the process-global source. Shared with the
+// determinism pass, which treats the same set as hazards.
+func isGlobalRandFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false // methods on *rand.Rand are fine
+	}
+	return !randConstructors[fn.Name()]
 }

@@ -19,7 +19,7 @@ func shuffle(xs []int) {
 	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
 }
 `
-	findings := checkFixture(t, []Rule{&GlobalRand{}}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{&GlobalRand{}}, "catpa/internal/fix", "fix.go", src)
 	wantLines(t, findings, "globalrand", 5, 7, 9, 11, 14)
 }
 
@@ -36,6 +36,6 @@ func zipf(rng *rand.Rand) *rand.Zipf { return rand.NewZipf(rng, 1.1, 1, 100) }
 
 func use(rng *rand.Rand, n int) int { return rng.Intn(n) }
 `
-	findings := checkFixture(t, []Rule{&GlobalRand{}}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{&GlobalRand{}}, "catpa/internal/fix", "fix.go", src)
 	wantLines(t, findings, "globalrand")
 }

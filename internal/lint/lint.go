@@ -1,7 +1,25 @@
 // Package lint implements mclint, the repository's domain-aware static
 // analyzer. Built only on the standard library (go/ast, go/parser,
-// go/types, go/token), it loads every package of the module and
-// enforces invariants that ordinary Go tooling cannot know about:
+// go/types, go/token, go/importer), it loads every package of the
+// module, type-checks module-internal dependencies from source (so
+// facts about an object mean the same thing in every package that sees
+// it), and runs a set of passes that enforce invariants ordinary Go
+// tooling cannot know about.
+//
+// # The pass framework
+//
+// A pass (Analyzer) sees one package at a time through a Pass value:
+// the parsed files, the go/types information, a Reporter, and the
+// module-wide Facts store. Passes that need cross-package knowledge —
+// a registration site in another package, an annotation on a callee,
+// the module call graph — implement Collector: every collector runs
+// over every package of the load before any pass reports a finding, so
+// facts are complete by the time Run executes. Object identity is
+// stable across packages (module-internal imports are type-checked
+// from source, not re-read from export data), so facts key directly on
+// types.Object.
+//
+// # Syntactic and shallow type-aware passes
 //
 //	floateq    – no ==/!= between floating-point expressions outside
 //	             the allowlisted epsilon-helper file (internal/mc/feq.go);
@@ -29,11 +47,37 @@
 //	             satisfy obs.ValidName, and each full name may be
 //	             registered at only one call site per package (a second
 //	             site is a latent registration panic).
+//	backendreg – backend names passed to partition.RegisterBackend must
+//	             be constant lowercase identifiers, each registered at
+//	             exactly one call site module-wide.
+//
+// # Type-aware invariant passes (mclint v2)
+//
+//	allocfree      – functions annotated //mc:allocfree must not
+//	                 contain allocation-introducing constructs
+//	                 (interface boxing, escaping closures, append
+//	                 outside the slab-reuse idiom, map writes, string
+//	                 concatenation, variadic fan-in, fmt calls, and
+//	                 make/new outside a cap-guarded growth branch), and
+//	                 every statically-resolved module callee must carry
+//	                 the annotation too.
+//	determinism    – no map iteration without key sorting, time.Now,
+//	                 global math/rand, or sync.Map.Range in any
+//	                 function reachable (over the module call graph)
+//	                 from a //mc:deterministic serialization root; the
+//	                 static twin of the byte-identical-resume tests.
+//	scalarboundary – the partition.Backend interface and every module
+//	                 type implementing it must keep the scalar-only
+//	                 boundary: no slice/map/interface/chan/func values
+//	                 cross beyond the declared exceptions.
+//	atomicmix      – a struct field passed to sync/atomic functions
+//	                 anywhere in the module may never be read or
+//	                 written plainly elsewhere.
 //
 // A finding can be suppressed by the line above it (or a trailing
 // comment on the same line):
 //
-//	//lint:ignore mclint/<rule> <reason>
+//	//lint:ignore mclint/<pass> <reason>
 //
 // The reason is mandatory; a directive without one is itself a finding.
 // Test files are not analyzed: tests legitimately construct adversarial
@@ -48,10 +92,12 @@ import (
 	"strings"
 )
 
-// Finding is one rule violation at a position.
+// Finding is one pass violation at a position.
 type Finding struct {
-	// Rule is the short rule name ("floateq", ...).
-	Rule string
+	// Pass is the short pass name ("floateq", "allocfree", ...).
+	Pass string
+	// Pkg is the import path of the package the finding is in.
+	Pkg string
 	// Pos locates the offending node.
 	Pos token.Position
 	// Message describes the violation and the sanctioned alternative.
@@ -60,29 +106,55 @@ type Finding struct {
 
 // String renders the finding in the conventional file:line:col form.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s [mclint/%s]", f.Pos, f.Message, f.Rule)
+	return fmt.Sprintf("%s: %s [mclint/%s]", f.Pos, f.Message, f.Pass)
 }
 
 // Reporter records one violation at a node.
 type Reporter func(node ast.Node, format string, args ...any)
 
-// Rule is one mclint check. Implementations are stateless with respect
-// to Check: the same rule value may be run over many packages.
-type Rule interface {
-	// Name is the short identifier used in -disable flags and
+// Pass is one analyzer's view of one package: the type-checked package
+// under inspection, the module-wide fact store, and the reporter
+// findings go through. The same Pass shape serves both phases; during
+// fact collection the Reporter still works (collectors normally record
+// facts and leave reporting to Run, but grammar-level findings may be
+// raised early).
+type Pass struct {
+	// Pkg is the package under inspection.
+	Pkg *Package
+	// Facts is the module-wide cross-pass fact store. It is shared by
+	// every pass of a Runner.Run call and complete (all collectors have
+	// run over all packages) by the time any Run executes.
+	Facts *Facts
+	// Report records one finding at a node of Pkg.
+	Report Reporter
+}
+
+// Analyzer is one mclint pass. Implementations are stateless with
+// respect to Run: per-run state lives in the Facts store, so the same
+// analyzer value may be run over many packages and many loads.
+type Analyzer interface {
+	// Name is the short identifier used in -pass/-disable flags and
 	// //lint:ignore directives.
 	Name() string
 	// Doc is a one-line description for -list output.
 	Doc() string
-	// Check inspects one package and reports violations.
-	Check(pkg *Package, report Reporter)
+	// Run inspects one package and reports violations.
+	Run(p *Pass)
 }
 
-// DefaultRules returns the full rule set configured for the module
+// Collector is implemented by analyzers that need module-wide facts:
+// Collect is invoked for every package of the load (in import-path
+// order) before any analyzer's Run, so Run may rely on facts about
+// packages other than the one it is inspecting.
+type Collector interface {
+	Collect(p *Pass)
+}
+
+// DefaultPasses returns the full pass set configured for the module
 // with the given module path.
-func DefaultRules(modulePath string) []Rule {
+func DefaultPasses(modulePath string) []Analyzer {
 	internal := modulePath + "/internal/"
-	return []Rule{
+	return []Analyzer{
 		&FloatEq{Allow: []string{"internal/mc/feq.go"}},
 		&GlobalRand{},
 		&RawTask{MCPath: modulePath + "/internal/mc"},
@@ -97,65 +169,104 @@ func DefaultRules(modulePath string) []Rule {
 		}},
 		&ObsName{ObsPath: modulePath + "/internal/obs"},
 		&BackendReg{PartitionPath: modulePath + "/internal/partition"},
+		&AllocFree{},
+		&Determinism{},
+		&ScalarBoundary{PartitionPath: modulePath + "/internal/partition"},
+		&AtomicMix{},
 	}
 }
 
-// RuleNames returns the names of all known rules, for directive and
-// -disable validation (independent of which rules are enabled).
-func RuleNames(modulePath string) []string {
-	rules := DefaultRules(modulePath)
-	names := make([]string, len(rules))
-	for i, r := range rules {
-		names[i] = r.Name()
+// PassNames returns the names of all known passes, for directive and
+// flag validation (independent of which passes are enabled).
+func PassNames(modulePath string) []string {
+	passes := DefaultPasses(modulePath)
+	names := make([]string, len(passes))
+	for i, a := range passes {
+		names[i] = a.Name()
 	}
 	return names
 }
 
-// directiveRule is the pseudo-rule name under which malformed
+// directiveRule is the pseudo-pass name under which malformed
 // //lint:ignore directives are reported. It cannot be suppressed.
 const directiveRule = "directive"
 
-// Runner executes a rule set over packages and applies suppression
-// directives.
+// annotationRule is the pseudo-pass name under which malformed //mc:
+// annotations are reported. It cannot be suppressed.
+const annotationRule = "annotation"
+
+// Runner executes a pass set over packages and applies suppression
+// directives. A Runner value is single-use per Run call with respect
+// to facts: every Run starts from an empty fact store.
 type Runner struct {
-	// Rules is the enabled rule set.
-	Rules []Rule
-	// KnownRules validates directive targets; defaults to the names of
-	// Rules when empty, so directives for disabled rules stay legal
-	// only if KnownRules includes them.
-	KnownRules []string
+	// Passes is the enabled pass set.
+	Passes []Analyzer
+	// KnownPasses validates directive targets; defaults to the names of
+	// Passes when empty, so directives for disabled passes stay legal
+	// only if KnownPasses includes them.
+	KnownPasses []string
 }
 
 // Run checks every package and returns the surviving findings sorted
-// by position.
+// by position. Fact collection (including //mc: annotation scanning)
+// runs over all packages first; pass the full module load even when
+// only a subtree's findings are wanted, and filter afterwards —
+// cross-package facts (registration sites, annotations on callees, the
+// call graph) are only complete over the whole module.
 func (r *Runner) Run(pkgs []*Package) []Finding {
 	known := make(map[string]bool)
-	for _, n := range r.KnownRules {
+	for _, n := range r.KnownPasses {
 		known[n] = true
 	}
-	for _, rule := range r.Rules {
-		known[rule.Name()] = true
+	for _, a := range r.Passes {
+		known[a.Name()] = true
 	}
 
+	facts := NewFacts()
 	var out []Finding
+
+	sup := make(map[*Package]suppressions)
 	for _, pkg := range pkgs {
-		sup, bad := collectDirectives(pkg, known)
+		s, bad := collectDirectives(pkg, known)
+		sup[pkg] = s
 		out = append(out, bad...)
-		for _, rule := range r.Rules {
-			name := rule.Name()
-			rule.Check(pkg, func(node ast.Node, format string, args ...any) {
-				pos := pkg.Fset.Position(node.Pos())
-				if sup.covers(pos.Filename, pos.Line, name) {
-					return
-				}
-				out = append(out, Finding{
-					Rule:    name,
-					Pos:     pos,
-					Message: fmt.Sprintf(format, args...),
-				})
+		out = append(out, collectAnnotations(pkg, facts)...)
+	}
+
+	// Phase 1: module-wide fact collection. Collectors see every
+	// package before any pass reports, so Run phases may rely on
+	// complete cross-package facts.
+	report := func(pkg *Package, name string) Reporter {
+		return func(node ast.Node, format string, args ...any) {
+			pos := pkg.Fset.Position(node.Pos())
+			if sup[pkg].covers(pos.Filename, pos.Line, name) {
+				return
+			}
+			out = append(out, Finding{
+				Pass:    name,
+				Pkg:     pkg.ImportPath,
+				Pos:     pos,
+				Message: fmt.Sprintf(format, args...),
 			})
 		}
 	}
+	for _, a := range r.Passes {
+		c, ok := a.(Collector)
+		if !ok {
+			continue
+		}
+		for _, pkg := range pkgs {
+			c.Collect(&Pass{Pkg: pkg, Facts: facts, Report: report(pkg, a.Name())})
+		}
+	}
+
+	// Phase 2: per-package runs.
+	for _, pkg := range pkgs {
+		for _, a := range r.Passes {
+			a.Run(&Pass{Pkg: pkg, Facts: facts, Report: report(pkg, a.Name())})
+		}
+	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -167,17 +278,17 @@ func (r *Runner) Run(pkgs []*Package) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		return a.Pass < b.Pass
 	})
 	return out
 }
 
-// suppressions indexes //lint:ignore directives: file -> line -> rules
+// suppressions indexes //lint:ignore directives: file -> line -> passes
 // suppressed on that line. A directive on line L covers findings on L
 // (trailing comment) and L+1 (comment above the code).
 type suppressions map[string]map[int]map[string]bool
 
-func (s suppressions) add(file string, line int, rule string) {
+func (s suppressions) add(file string, line int, pass string) {
 	byLine, ok := s[file]
 	if !ok {
 		byLine = make(map[int]map[string]bool)
@@ -187,22 +298,25 @@ func (s suppressions) add(file string, line int, rule string) {
 		if byLine[l] == nil {
 			byLine[l] = make(map[string]bool)
 		}
-		byLine[l][rule] = true
+		byLine[l][pass] = true
 	}
 }
 
-func (s suppressions) covers(file string, line int, rule string) bool {
-	return s[file][line][rule]
+func (s suppressions) covers(file string, line int, pass string) bool {
+	return s[file][line][pass]
 }
 
 // collectDirectives scans a package's comments for //lint:ignore
 // directives, returning the suppression index and findings for
-// malformed directives (missing reason, unknown rule, bad target).
+// malformed directives (missing reason, unknown pass, bad target).
 func collectDirectives(pkg *Package, known map[string]bool) (suppressions, []Finding) {
 	sup := make(suppressions)
 	var bad []Finding
 	report := func(pos token.Position, format string, args ...any) {
-		bad = append(bad, Finding{Rule: directiveRule, Pos: pos, Message: fmt.Sprintf(format, args...)})
+		bad = append(bad, Finding{
+			Pass: directiveRule, Pkg: pkg.ImportPath, Pos: pos,
+			Message: fmt.Sprintf(format, args...),
+		})
 	}
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
@@ -214,16 +328,16 @@ func collectDirectives(pkg *Package, known map[string]bool) (suppressions, []Fin
 				pos := pkg.Fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) == 0 {
-					report(pos, "lint:ignore directive needs a rule (\"mclint/<rule>\") and a reason")
+					report(pos, "lint:ignore directive needs a pass (\"mclint/<pass>\") and a reason")
 					continue
 				}
 				target, ok := strings.CutPrefix(fields[0], "mclint/")
 				if !ok {
-					report(pos, "lint:ignore target %q must be of the form mclint/<rule>", fields[0])
+					report(pos, "lint:ignore target %q must be of the form mclint/<pass>", fields[0])
 					continue
 				}
 				if !known[target] {
-					report(pos, "lint:ignore targets unknown rule mclint/%s", target)
+					report(pos, "lint:ignore targets unknown pass mclint/%s", target)
 					continue
 				}
 				if len(fields) < 2 {

@@ -19,12 +19,15 @@ import (
 
 // Package is one type-checked, non-test package of the module under
 // analysis. Test files (*_test.go) are deliberately excluded: every
-// mclint rule exempts test code, which legitimately builds adversarial
+// mclint pass exempts test code, which legitimately builds adversarial
 // fixtures (raw literals, exact comparisons) that production code must
 // not.
 type Package struct {
 	// ImportPath is the package's import path ("catpa/internal/mc").
 	ImportPath string
+	// ModulePath is the path of the module the load belongs to; passes
+	// use it to distinguish module-internal callees from stdlib ones.
+	ModulePath string
 	// Dir is the package directory on disk.
 	Dir string
 	// Fset positions all files of the load.
@@ -33,7 +36,7 @@ type Package struct {
 	Files []*ast.File
 	// Types is the type-checked package object.
 	Types *types.Package
-	// Info carries the type-checker facts the rules consult.
+	// Info carries the type-checker facts the passes consult.
 	Info *types.Info
 }
 
@@ -42,12 +45,24 @@ func (p *Package) FileOf(pos token.Pos) string {
 	return p.Fset.Position(pos).Filename
 }
 
+// InModule reports whether the import path belongs to the loaded
+// module — the boundary at which the allocfree pass requires callee
+// annotations and the determinism pass follows call edges.
+func (p *Package) InModule(path string) bool {
+	return path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/")
+}
+
 // Loader loads and type-checks every package of a Go module using only
-// the standard library: package structure and dependency export data
-// come from `go list -export -deps`, and type checking runs go/types
-// with the gc importer reading that export data. This avoids both a
-// dependency on golang.org/x/tools and the cost of re-type-checking
-// the transitive closure from source.
+// the standard library. Package structure and dependency export data
+// come from `go list -export -deps`; module-internal packages are then
+// type-checked from source in dependency order through one shared
+// importer, while stdlib and external dependencies are read from gc
+// export data. Checking module deps from source (rather than re-reading
+// their export data) is what gives the pass framework module-wide
+// object identity: the *types.Func for mc.SortByMaxUtilInto is the
+// same object whether a pass meets it defining internal/mc or calling
+// it from internal/partition, so cross-pass facts key on objects
+// directly.
 type Loader struct {
 	// Fset positions every file loaded through this loader.
 	Fset *token.FileSet
@@ -56,9 +71,12 @@ type Loader struct {
 	// ModulePath is the module path declared in go.mod.
 	ModulePath string
 
-	imp     types.ImporterFrom
-	exports map[string]string // import path -> export data file
-	listed  []listedPackage
+	gc       types.ImporterFrom
+	exports  map[string]string        // import path -> export data file
+	listed   []listedPackage          // module packages in dependency order
+	byPath   map[string]listedPackage // import path -> metadata
+	checked  map[string]*Package      // module packages already type-checked
+	checking map[string]bool          // cycle guard (cannot happen in valid Go)
 }
 
 // listedPackage mirrors the `go list -json` fields the loader needs.
@@ -83,11 +101,14 @@ func NewLoader(dir string) (*Loader, error) {
 		ModuleRoot: root,
 		ModulePath: modPath,
 		exports:    make(map[string]string),
+		byPath:     make(map[string]listedPackage),
+		checked:    make(map[string]*Package),
+		checking:   make(map[string]bool),
 	}
 	if err := l.list(); err != nil {
 		return nil, err
 	}
-	l.imp = importer.ForCompiler(l.Fset, "gc", l.lookup).(types.ImporterFrom)
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.exportLookup).(types.ImporterFrom)
 	return l, nil
 }
 
@@ -116,7 +137,9 @@ func findModule(dir string) (root, modPath string, err error) {
 }
 
 // list runs `go list -export -deps ./...` at the module root and
-// records package metadata and export-data locations.
+// records package metadata and export-data locations. The -deps order
+// (dependencies before dependents) is preserved for module packages,
+// so type-checking in listed order never meets an unchecked dep.
 func (l *Loader) list() error {
 	cmd := exec.Command("go", "list", "-e", "-export", "-deps",
 		"-json=ImportPath,Dir,Name,GoFiles,Export,Standard,Error", "./...")
@@ -138,13 +161,14 @@ func (l *Loader) list() error {
 		if p.Export != "" {
 			l.exports[p.ImportPath] = p.Export
 		}
+		l.byPath[p.ImportPath] = p
 		l.listed = append(l.listed, p)
 	}
 	return nil
 }
 
-// lookup feeds dependency export data to the gc importer.
-func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+// exportLookup feeds dependency export data to the gc importer.
+func (l *Loader) exportLookup(path string) (io.ReadCloser, error) {
 	f, ok := l.exports[path]
 	if !ok {
 		return nil, fmt.Errorf("lint: no export data for %q", path)
@@ -155,6 +179,64 @@ func (l *Loader) lookup(path string) (io.ReadCloser, error) {
 // inModule reports whether the import path belongs to the loaded module.
 func (l *Loader) inModule(path string) bool {
 	return path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")
+}
+
+// Import implements types.Importer: module-internal packages resolve
+// to their (lazily) source-checked types.Package, everything else to
+// gc export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.inModule(path) {
+		pkg, err := l.ensure(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// ImportFrom implements types.ImporterFrom; the module has no vendor
+// directory handling beyond what the gc importer does.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if l.inModule(path) {
+		return l.Import(path)
+	}
+	return l.gc.ImportFrom(path, dir, mode)
+}
+
+// ensure returns the source-checked module package for path, checking
+// it (and, transitively, its module deps) on first use.
+func (l *Loader) ensure(path string) (*Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := l.byPath[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: module package %q not listed", path)
+	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("lint: %s: %s", path, lp.Error.Err)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	pkg, err := l.typeCheck(path, lp.Dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.checked[path] = pkg
+	return pkg, nil
 }
 
 // Load parses and type-checks every package of the module, sorted by
@@ -170,7 +252,7 @@ func (l *Loader) Load() ([]*Package, error) {
 		if lp.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		pkg, err := l.check(lp)
+		pkg, err := l.ensure(lp.ImportPath)
 		if err != nil {
 			return nil, err
 		}
@@ -180,23 +262,11 @@ func (l *Loader) Load() ([]*Package, error) {
 	return pkgs, nil
 }
 
-// check parses and type-checks one listed package.
-func (l *Loader) check(lp listedPackage) (*Package, error) {
-	files := make([]*ast.File, 0, len(lp.GoFiles))
-	for _, name := range lp.GoFiles {
-		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %v", err)
-		}
-		files = append(files, f)
-	}
-	return l.typeCheck(lp.ImportPath, lp.Dir, files)
-}
-
 // CheckSource parses and type-checks a single in-memory file as its
-// own package under the given import path. It exists for rule unit
+// own package under the given import path. It exists for pass unit
 // tests, which feed fixture sources through the same pipeline real
-// packages take.
+// packages take; fixtures may import module packages (resolved from
+// source) and stdlib ones (resolved from export data) alike.
 func (l *Loader) CheckSource(importPath, filename, src string) (*Package, error) {
 	f, err := parser.ParseFile(l.Fset, filename, src, parser.ParseComments)
 	if err != nil {
@@ -205,7 +275,7 @@ func (l *Loader) CheckSource(importPath, filename, src string) (*Package, error)
 	return l.typeCheck(importPath, "", []*ast.File{f})
 }
 
-// typeCheck runs go/types over the files with the export-data importer.
+// typeCheck runs go/types over the files with the chained importer.
 func (l *Loader) typeCheck(importPath, dir string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -215,7 +285,7 @@ func (l *Loader) typeCheck(importPath, dir string, files []*ast.File) (*Package,
 	}
 	var typeErrs []string
 	conf := types.Config{
-		Importer: l.imp,
+		Importer: l,
 		Error: func(err error) {
 			typeErrs = append(typeErrs, err.Error())
 		},
@@ -226,6 +296,7 @@ func (l *Loader) typeCheck(importPath, dir string, files []*ast.File) (*Package,
 	}
 	return &Package{
 		ImportPath: importPath,
+		ModulePath: l.ModulePath,
 		Dir:        dir,
 		Fset:       l.Fset,
 		Files:      files,

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkTestdataWithModule is checkTestdata for passes whose facts come
+// from the real module packages (cross-package annotations, the Backend
+// interface): the runner sees the whole module plus the fixture.
+// TestRealTreeClean guarantees the module itself contributes no
+// findings, so every reported line belongs to the fixture.
+func checkTestdataWithModule(t *testing.T, passes []Analyzer, filename, src string) []Finding {
+	t.Helper()
+	ld := sharedLoader(t)
+	if src == "" {
+		data, err := os.ReadFile(filepath.Join("testdata", filename))
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		src = string(data)
+	}
+	pkg, err := ld.CheckSource("catpa/internal/fixture", filename, src)
+	if err != nil {
+		t.Fatalf("CheckSource: %v", err)
+	}
+	pkgs, err := ld.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	runner := &Runner{Passes: passes, KnownPasses: PassNames("catpa")}
+	return runner.Run(append(pkgs, pkg))
+}
+
+func TestAllocFreeFixture(t *testing.T) {
+	findings := checkTestdata(t, []Analyzer{&AllocFree{}}, "allocfree.go")
+	wantLines(t, findings, "allocfree",
+		42, // unguarded make
+		43, // append outside the slab idiom
+		44, // unannotated callee
+		45, // boxing assignment
+		54, // slice literal
+		55, // map write
+		56, // go statement
+		57, // string concatenation
+		74, // escaping closure
+		80, // variadic fan-in
+	)
+	wantLines(t, findings, annotationRule)
+}
+
+// TestAllocFreeCrossPackage proves the annotation facts cross package
+// boundaries through object identity: a fixture function calling an
+// annotated internal/mc method is clean, one calling an unannotated
+// method is flagged.
+func TestAllocFreeCrossPackage(t *testing.T) {
+	src := `package fixture
+
+import "catpa/internal/mc"
+
+//mc:allocfree cross-package caller
+func caller(ts *mc.TaskSet) float64 {
+	u := ts.TotalUtilAt(1)
+	c := ts.Clone()
+	_ = c
+	return u
+}
+`
+	findings := checkTestdataWithModule(t, []Analyzer{&AllocFree{}}, "cross.go", src)
+	wantLines(t, findings, "allocfree", 8)
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	findings := checkTestdata(t, []Analyzer{&Determinism{}}, "determinism.go")
+	wantLines(t, findings, "determinism",
+		18, // raw map range in the root
+		38, // time.Now in a transitively reachable callee
+		39, // global rand in a transitively reachable callee
+	)
+}
+
+func TestScalarBoundaryFixture(t *testing.T) {
+	passes := []Analyzer{&ScalarBoundary{PartitionPath: "catpa/internal/partition"}}
+	findings := checkTestdataWithModule(t, passes, "scalarboundary.go", "")
+	wantLines(t, findings, "scalarboundary",
+		16, // non-scalar result
+		18, // non-scalar parameter
+	)
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	findings := checkTestdata(t, []Analyzer{&AtomicMix{}}, "atomicmix.go")
+	wantLines(t, findings, "atomicmix",
+		14, // plain read of an atomically updated package variable
+		33, // plain write of an atomically updated struct field
+	)
+}

@@ -37,16 +37,17 @@ type ObsName struct {
 	ObsPath string
 }
 
-// Name implements Rule.
+// Name implements Analyzer.
 func (*ObsName) Name() string { return "obsname" }
 
-// Doc implements Rule.
+// Doc implements Analyzer.
 func (*ObsName) Doc() string {
 	return "obs metric names must be constant lowercase dot-paths, each registered at one site"
 }
 
-// Check implements Rule.
-func (r *ObsName) Check(pkg *Package, report Reporter) {
+// Run implements Analyzer.
+func (r *ObsName) Run(p *Pass) {
+	pkg := p.Pkg
 	if pkg.ImportPath == r.ObsPath {
 		return
 	}
@@ -69,12 +70,12 @@ func (r *ObsName) Check(pkg *Package, report Reporter) {
 			arg := call.Args[0]
 			tv, ok := pkg.Info.Types[arg]
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
-				report(arg, "metric name passed to Registry.%s must be a compile-time constant string", sel.Sel.Name)
+				p.Report(arg, "metric name passed to Registry.%s must be a compile-time constant string", sel.Sel.Name)
 				return true
 			}
 			name := constant.StringVal(tv.Value)
 			if !obs.ValidName(name) {
-				report(arg, "metric name %q is malformed; names are lowercase dot-separated segments like %q", name, "sweep.sets.total")
+				p.Report(arg, "metric name %q is malformed; names are lowercase dot-separated segments like %q", name, "sweep.sets.total")
 				return true
 			}
 			// A LabeledCounter base is shared across its label family on
@@ -83,7 +84,7 @@ func (r *ObsName) Check(pkg *Package, report Reporter) {
 				return true
 			}
 			if first, dup := seen[name]; dup {
-				report(arg, "metric %q is also registered at %s; each name may be registered only once per registry", name, first)
+				p.Report(arg, "metric %q is also registered at %s; each name may be registered only once per registry", name, first)
 				return true
 			}
 			seen[name] = pkg.Fset.Position(arg.Pos())

@@ -2,8 +2,8 @@ package lint
 
 import "testing"
 
-func obsNameRule() []Rule {
-	return []Rule{&ObsName{ObsPath: "catpa/internal/obs"}}
+func obsNameRule() []Analyzer {
+	return []Analyzer{&ObsName{ObsPath: "catpa/internal/obs"}}
 }
 
 func TestObsNameFlagsBadNames(t *testing.T) {

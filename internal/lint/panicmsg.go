@@ -20,16 +20,17 @@ type PanicMsg struct {
 	InternalPrefix string
 }
 
-// Name implements Rule.
+// Name implements Analyzer.
 func (*PanicMsg) Name() string { return "panicmsg" }
 
-// Doc implements Rule.
+// Doc implements Analyzer.
 func (*PanicMsg) Doc() string {
 	return `panic messages in internal packages must be static strings prefixed "pkg: "`
 }
 
-// Check implements Rule.
-func (r *PanicMsg) Check(pkg *Package, report Reporter) {
+// Run implements Analyzer.
+func (r *PanicMsg) Run(p *Pass) {
+	pkg := p.Pkg
 	if !strings.HasPrefix(pkg.ImportPath, r.InternalPrefix) {
 		return
 	}
@@ -43,9 +44,9 @@ func (r *PanicMsg) Check(pkg *Package, report Reporter) {
 			msg, static := staticString(pkg, call.Args[0])
 			switch {
 			case !static:
-				report(call, "panic message is not a static string; panic with %q so the failure is attributable", prefix+"...")
+				p.Report(call, "panic message is not a static string; panic with %q so the failure is attributable", prefix+"...")
 			case !strings.HasPrefix(msg, prefix):
-				report(call, "panic message %q must start with the package prefix %q", truncate(msg, 40), prefix)
+				p.Report(call, "panic message %q must start with the package prefix %q", truncate(msg, 40), prefix)
 			}
 			return true
 		})

@@ -24,7 +24,7 @@ func goodConst() { panic(msg) }
 func goodErrorf(n int) { panic(fmt.Errorf("fix: bad state %d", n)) }
 `
 	rule := &PanicMsg{InternalPrefix: "catpa/internal/"}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/fix", "fix.go", src)
 	wantLines(t, findings, "panicmsg", 5, 7, 9)
 }
 
@@ -34,7 +34,7 @@ func TestPanicMsgScopedToInternal(t *testing.T) {
 func main() { panic("anything goes outside internal/") }
 `
 	rule := &PanicMsg{InternalPrefix: "catpa/internal/"}
-	findings := checkFixture(t, []Rule{rule}, "catpa/cmd/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/cmd/fix", "fix.go", src)
 	wantLines(t, findings, "panicmsg")
 }
 
@@ -44,6 +44,6 @@ func TestPanicMsgIgnoresShadowedPanic(t *testing.T) {
 func panicIn(panic func(string)) { panic("not the builtin") }
 `
 	rule := &PanicMsg{InternalPrefix: "catpa/internal/"}
-	findings := checkFixture(t, []Rule{rule}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/fix", "fix.go", src)
 	wantLines(t, findings, "panicmsg")
 }

@@ -21,16 +21,17 @@ type RawTask struct {
 	MCPath string
 }
 
-// Name implements Rule.
+// Name implements Analyzer.
 func (*RawTask) Name() string { return "rawtask" }
 
-// Doc implements Rule.
+// Doc implements Analyzer.
 func (*RawTask) Doc() string {
 	return "no raw mc.Task/mc.TaskSet literals outside internal/mc; use the validating constructors"
 }
 
-// Check implements Rule.
-func (r *RawTask) Check(pkg *Package, report Reporter) {
+// Run implements Analyzer.
+func (r *RawTask) Run(p *Pass) {
+	pkg := p.Pkg
 	if pkg.ImportPath == r.MCPath {
 		return
 	}
@@ -48,7 +49,7 @@ func (r *RawTask) Check(pkg *Package, report Reporter) {
 				return true
 			}
 			skipUntil = lit.End()
-			report(lit, "raw %s literal; construct tasks with mc.NewTask/mc.MustTask and sets with mc.NewTaskSet so invariants are validated", name)
+			p.Report(lit, "raw %s literal; construct tasks with mc.NewTask/mc.MustTask and sets with mc.NewTaskSet so invariants are validated", name)
 			return true
 		})
 	}

@@ -17,7 +17,7 @@ var nested = mc.TaskSet{Tasks: []mc.Task{{ID: 1}}}
 
 func build() mc.Task { return mc.Task{Period: 5, Crit: 1, WCET: []float64{1}} }
 `
-	findings := checkFixture(t, []Rule{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
 	// The nested []mc.Task inside the flagged TaskSet literal on line
 	// 11 must not be double-reported.
 	wantLines(t, findings, "rawtask", 5, 7, 9, 11, 13)
@@ -40,7 +40,7 @@ type holder struct{ t mc.Task } // declaring fields is fine
 
 func read(ts *mc.TaskSet) int { return ts.Len() }
 `
-	findings := checkFixture(t, []Rule{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
 	wantLines(t, findings, "rawtask")
 }
 
@@ -53,7 +53,7 @@ import "catpa"
 
 var task = catpa.Task{Period: 10, Crit: 1, WCET: []float64{1}}
 `
-	findings := checkFixture(t, []Rule{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
+	findings := checkFixture(t, []Analyzer{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/fix", "fix.go", src)
 	wantLines(t, findings, "rawtask", 5)
 }
 
@@ -64,6 +64,6 @@ import "catpa/internal/mc"
 
 var task = mc.Task{ID: 1, Period: 10, Crit: 1, WCET: []float64{1}}
 `
-	findings := checkFixture(t, []Rule{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/mc", "extra.go", src)
+	findings := checkFixture(t, []Analyzer{&RawTask{MCPath: "catpa/internal/mc"}}, "catpa/internal/mc", "extra.go", src)
 	wantLines(t, findings, "rawtask")
 }

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ScalarBoundary guards the scalar-only protocol of the
+// partition.Backend seam (DESIGN.md Section 10): the allocator and the
+// per-core analyses exchange only scalars — ints, floats, bools,
+// strings — so no slice, map, or interface value can alias state across
+// the boundary and silently couple the heuristic to an analysis's
+// internals. Two declared exceptions exist, both one-directional
+// hand-offs with documented ownership: Prepare(*mc.TaskSet) installs
+// the immutable task set, and ReportInto(c int, *CoreInfo) fills a
+// caller-owned report.
+//
+// The pass checks both sides of the seam: the Backend interface
+// declaration itself (so the contract cannot be widened by editing the
+// interface), and every exported method of every module type that
+// implements Backend — an implementation with an extra exported method
+// passing slices would be a side channel around the boundary.
+// Unexported methods are internal to the implementation and free to
+// use any types.
+type ScalarBoundary struct {
+	// PartitionPath is the import path of the partition package that
+	// declares the Backend interface.
+	PartitionPath string
+}
+
+// factBackendIface is the global fact key under which the collector
+// publishes the *types.Interface of partition.Backend.
+const factBackendIface = "scalarboundary.backend"
+
+// Name implements Analyzer.
+func (*ScalarBoundary) Name() string { return "scalarboundary" }
+
+// Doc implements Analyzer.
+func (*ScalarBoundary) Doc() string {
+	return "partition.Backend and its implementations must keep the scalar-only boundary"
+}
+
+// Collect implements Collector: on the partition package it resolves
+// the Backend interface, publishes it for the Run phase, and checks the
+// interface declaration itself against the contract.
+func (s *ScalarBoundary) Collect(p *Pass) {
+	pkg := p.Pkg
+	if pkg.ImportPath != s.PartitionPath {
+		return
+	}
+	obj, ok := pkg.Types.Scope().Lookup("Backend").(*types.TypeName)
+	if !ok {
+		return
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	p.Facts.SetGlobal(factBackendIface, iface)
+
+	// The declaration side: every method the interface adds must keep
+	// the contract, so the boundary cannot be widened at the seam.
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Backend" {
+					continue
+				}
+				it, ok := ts.Type.(*ast.InterfaceType)
+				if !ok {
+					continue
+				}
+				for _, m := range it.Methods.List {
+					if len(m.Names) == 0 {
+						continue // embedded interface
+					}
+					ft, ok := pkg.Info.TypeOf(m.Type).(*types.Signature)
+					if !ok {
+						continue
+					}
+					s.checkSignature(p, m, m.Names[0].Name, ft)
+				}
+			}
+		}
+	}
+}
+
+// Run implements Analyzer: every exported method declared in this
+// package on a type implementing Backend must keep the contract.
+func (s *ScalarBoundary) Run(p *Pass) {
+	iface, ok := globalFact[*types.Interface](p.Facts, factBackendIface)
+	if !ok {
+		return
+	}
+	pkg := p.Pkg
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv()
+			if recv == nil || !implementsBackend(recv.Type(), iface) {
+				continue
+			}
+			s.checkSignature(p, fd.Name, fd.Name.Name, fn.Type().(*types.Signature))
+		}
+	}
+}
+
+// implementsBackend reports whether the receiver's type (or its
+// pointer) satisfies the Backend interface. Interface receivers are
+// excluded: only concrete implementations are in scope.
+func implementsBackend(recv types.Type, iface *types.Interface) bool {
+	if types.IsInterface(recv) {
+		return false
+	}
+	if types.Implements(recv, iface) {
+		return true
+	}
+	if _, isPtr := recv.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(recv), iface)
+	}
+	return false
+}
+
+// checkSignature flags every non-scalar parameter or result of one
+// boundary method, honoring the two declared exceptions.
+func (s *ScalarBoundary) checkSignature(p *Pass, at ast.Node, name string, sig *types.Signature) {
+	check := func(tuple *types.Tuple, what string) {
+		for i := 0; i < tuple.Len(); i++ {
+			t := tuple.At(i).Type()
+			if isScalar(t) || s.allowedException(p.Pkg, name, t) {
+				continue
+			}
+			p.Report(at, "%s %d of %s crosses the Backend boundary with non-scalar type %s; the protocol passes scalars only (declared exceptions: Prepare(*mc.TaskSet), ReportInto(*CoreInfo))",
+				what, i+1, name, t)
+		}
+	}
+	check(sig.Params(), "parameter")
+	check(sig.Results(), "result")
+}
+
+// isScalar reports whether t is a basic (bool/numeric/string) type.
+func isScalar(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() != types.UnsafePointer
+}
+
+// allowedException reports whether t is one of the two sanctioned
+// non-scalar hand-offs for the named method: Prepare's *mc.TaskSet and
+// ReportInto's *CoreInfo.
+func (s *ScalarBoundary) allowedException(pkg *Package, method string, t types.Type) bool {
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch method {
+	case "Prepare":
+		return path == pkg.ModulePath+"/internal/mc" && name == "TaskSet"
+	case "ReportInto":
+		return path == s.PartitionPath && name == "CoreInfo"
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+// The allocfree fixture: the clean mirror of Partitioner.Run's idioms
+// must produce no findings, and every regressed variant — one protected
+// optimization removed per line — must be caught.
+package fixture
+
+import "fmt"
+
+type engine struct {
+	buf   []float64
+	tasks []int
+	sink  interface{}
+}
+
+// run mirrors Partitioner.Run: a panic path, cap-guarded growth, slab
+// appends, and annotated helpers only. No findings expected.
+//
+//mc:allocfree the clean mirror
+func (e *engine) run(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("fixture: bad n %d", n))
+	}
+	if cap(e.buf) < n {
+		e.buf = make([]float64, n)
+	}
+	e.tasks = e.tasks[:0]
+	e.tasks = append(e.tasks, n)
+	e.buf = append(e.buf[:0], float64(n))
+	e.hot(n)
+}
+
+//mc:allocfree helper of the mirror
+func (e *engine) hot(n int) {
+	for i := 0; i < len(e.buf); i++ {
+		e.buf[i] += float64(n)
+	}
+}
+
+// runRegressed is run with the protected optimizations removed.
+//
+//mc:allocfree the regressed mirror
+func (e *engine) runRegressed(n int) {
+	buf := make([]float64, n)    // unguarded make
+	out := append([]int(nil), n) // append outside the slab idiom
+	e.cold(n)                    // unannotated callee
+	e.sink = n                   // boxes into the interface field
+	_ = buf
+	_ = out
+}
+
+func (e *engine) cold(n int) {}
+
+//mc:allocfree assorted violations
+func violations(n int, m map[int]int) string {
+	s := []int{n}             // slice literal
+	m[n] = n                  // map write
+	go spin()                 // goroutine stack
+	name := "task-" + itoa(n) // string concatenation
+	_ = s
+	return name
+}
+
+//mc:allocfree empty
+func spin() {}
+
+//mc:allocfree constant
+func itoa(n int) string { return "" }
+
+//mc:allocfree takes a comparator like sortIdx
+func apply(f func(float64) float64) {}
+
+//mc:allocfree closures
+func closures(e *engine) {
+	apply(func(x float64) float64 { return x + 1 }) // clean: module-internal callee
+	e.sink = func() {}                              // stored closure escapes
+}
+
+//mc:allocfree variadic
+func fanIn(xs []int) int {
+	a := sum(xs...) // clean: spreads an existing slice
+	b := sum(1, 2)  // packs a fresh backing slice
+	return a + b
+}
+
+//mc:allocfree sums
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,35 @@
+// The atomicmix fixture: any variable or field whose address reaches a
+// sync/atomic function may never be accessed plainly.
+package fixture
+
+import "sync/atomic"
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func readPlain() int64 {
+	return hits // plain read races with the atomic adds
+}
+
+func readAtomic() int64 {
+	return atomic.LoadInt64(&hits)
+}
+
+type counters struct {
+	n int64
+	m int64
+}
+
+var cs counters
+
+func bumpField() {
+	atomic.AddInt64(&cs.n, 1)
+}
+
+func mixField() {
+	cs.n++ // plain write races with the atomic adds
+	cs.m++ // clean: m is never accessed atomically
+}

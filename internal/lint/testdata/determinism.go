@@ -1,0 +1,48 @@
+// The determinism fixture: hazards are flagged only on paths reachable
+// from a //mc:deterministic root, and the sanctioned key-collection
+// idiom stays clean.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// writeJournal is the serialization root.
+//
+//mc:deterministic the fixture journal writer
+func writeJournal(m map[string]int) []string {
+	keys := sortKeys(m)
+	stamp()
+	for k := range m { // raw map range on a tainted path
+		_ = m[k]
+	}
+	return keys
+}
+
+// sortKeys is reachable from the root but uses the sanctioned idiom:
+// the range body only collects keys, and the keys are sorted before
+// use. No findings expected.
+func sortKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// stamp is reachable transitively; both hazards must be attributed.
+func stamp() int64 {
+	t := time.Now()                           // wall clock on a tainted path
+	return t.UnixNano() + int64(rand.Intn(3)) // global rand on a tainted path
+}
+
+// unreached has the same hazards but no path from a root: clean.
+func unreached(m map[string]int) int64 {
+	for k := range m {
+		_ = k
+	}
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,31 @@
+// The scalarboundary fixture: a module type that satisfies
+// partition.Backend (here by embedding) must keep every exported
+// method scalar-only — extra exported methods are side channels around
+// the boundary.
+package fixture
+
+import (
+	"catpa/internal/mc"
+	"catpa/internal/partition"
+)
+
+type widened struct {
+	partition.Backend
+}
+
+func (w *widened) LeakState() []float64 { return nil } // non-scalar result
+
+func (w *widened) Inject(weights map[int]float64) {} // non-scalar parameter
+
+func (w *widened) Tune(c int, alpha float64) float64 { return alpha } // clean: scalars only
+
+func (w *widened) Prepare(ts *mc.TaskSet) {} // clean: the declared exception
+
+func (w *widened) ReportInto(c int, ci *partition.CoreInfo) {} // clean: the declared exception
+
+func (w *widened) scratch(xs []int) {} // clean: unexported
+
+// narrow does not implement Backend; its methods are out of scope.
+type narrow struct{}
+
+func (narrow) LeakState() []float64 { return nil }

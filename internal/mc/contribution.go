@@ -49,6 +49,8 @@ func Contributions(ts *TaskSet) []Contribution {
 //
 // ca and cb are the respective Max contributions. The relation is a
 // strict total order for tasks with distinct IDs.
+//
+//mc:allocfree the comparator of every ordering sort
 func Precedes(a *Task, ca float64, b *Task, cb float64) bool {
 	if diff := ca - cb; diff > Eps || diff < -Eps {
 		return diff > 0
@@ -63,11 +65,13 @@ func Precedes(a *Task, ca float64, b *Task, cb float64) bool {
 // contribution C_i (Eq. 12) without allocating per-task slices. key is
 // reused when its capacity suffices; the (possibly re-grown) slice is
 // returned. The values are bitwise those of Contributions().Max.
+//
+//mc:allocfree totals live in a stack array up to K=16, keys in caller scratch
 func MaxContributionsInto(ts *TaskSet, key []float64) []float64 {
 	k := ts.MaxCrit()
 	var totalsArr [16]float64
 	totals := totalsArr[:]
-	if k+1 > len(totals) {
+	if cap(totals) < k+1 {
 		totals = make([]float64, k+1)
 	}
 	for j := 1; j <= k; j++ {
@@ -94,6 +98,8 @@ func MaxContributionsInto(ts *TaskSet, key []float64) []float64 {
 // MaxUtilsInto fills key[i] with task i's own-level utilization
 // u_i(l_i), the primary key of the classical decreasing orders. key is
 // reused when its capacity suffices.
+//
+//mc:allocfree fills caller scratch
 func MaxUtilsInto(ts *TaskSet, key []float64) []float64 {
 	key = resizeFloats(key, len(ts.Tasks))
 	for i := range ts.Tasks {
@@ -106,6 +112,8 @@ func MaxUtilsInto(ts *TaskSet, key []float64) []float64 {
 // broken by higher criticality and then smaller ID — the shared tie
 // rules of every ordering in the paper. idx is reused when its
 // capacity suffices.
+//
+//mc:allocfree the comparator closure is passed only to module-internal sortIdx
 func sortIndexByKey(ts *TaskSet, idx []int, key []float64) []int {
 	n := len(ts.Tasks)
 	if cap(idx) < n {
@@ -125,6 +133,8 @@ func sortIndexByKey(ts *TaskSet, idx []int, key []float64) []int {
 // scratch: idx receives the order, key the per-task max contributions.
 // Both are reused when their capacity suffices, making the call
 // allocation-free at steady state. It returns the order slice.
+//
+//mc:allocfree the per-point ordering step of every sweep
 func SortByContributionInto(ts *TaskSet, idx []int, key []float64) ([]int, []float64) {
 	key = MaxContributionsInto(ts, key)
 	return sortIndexByKey(ts, idx, key), key
@@ -132,6 +142,8 @@ func SortByContributionInto(ts *TaskSet, idx []int, key []float64) ([]int, []flo
 
 // SortByMaxUtilInto is SortByMaxUtil with caller-provided scratch,
 // mirroring SortByContributionInto.
+//
+//mc:allocfree the per-point ordering step of every sweep
 func SortByMaxUtilInto(ts *TaskSet, idx []int, key []float64) ([]int, []float64) {
 	key = MaxUtilsInto(ts, key)
 	return sortIndexByKey(ts, idx, key), key
@@ -157,6 +169,8 @@ func SortByMaxUtil(ts *TaskSet) []int {
 
 // resizeFloats returns s resized to n, reallocating only when the
 // capacity is insufficient.
+//
+//mc:allocfree amortized: reallocates only on growth
 func resizeFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -166,6 +180,8 @@ func resizeFloats(s []float64, n int) []float64 {
 
 // sortIdx sorts idx with the provided less relation over element
 // values. A tiny wrapper so the call sites read naturally.
+//
+//mc:allocfree wraps the closure-free quicksort
 func sortIdx(idx []int, less func(i, j int) bool) {
 	// sort.Slice on the index slice, translating positions to values.
 	quicksortIdx(idx, less)
@@ -175,6 +191,8 @@ func sortIdx(idx []int, less func(i, j int) bool) {
 // quicksort with insertion sort for small runs). It exists to keep the
 // hot partitioning path free of interface conversions; the relation
 // must be a strict weak order.
+//
+//mc:allocfree in-place; recursion bounded by the smaller-half rule
 func quicksortIdx(idx []int, less func(a, b int) bool) {
 	for len(idx) > 12 {
 		// Median of three on values at the ends and middle.

@@ -33,28 +33,39 @@ func NewUtilMatrix(k int) *UtilMatrix {
 }
 
 // K returns the number of criticality levels the matrix was built for.
+//
+//mc:allocfree trivial accessor
 func (m *UtilMatrix) K() int { return m.k }
 
 // Len returns the number of tasks accumulated in the subset.
+//
+//mc:allocfree trivial accessor
 func (m *UtilMatrix) Len() int { return m.n }
 
 // At returns U_j^Psi(k), for 1 <= j, k <= K.
+//
+//mc:allocfree read per level inside the feasibility screens
 func (m *UtilMatrix) At(j, k int) float64 {
 	m.check(j, k)
 	return m.u[(j-1)*m.k+(k-1)]
 }
 
 // Add accumulates task t into the subset.
+//
+//mc:allocfree O(K) updates on preallocated rows
 func (m *UtilMatrix) Add(t *Task) {
 	m.apply(t, +1)
 }
 
 // Remove removes task t from the subset. The caller must only remove
 // tasks previously added; sums may otherwise go negative.
+//
+//mc:allocfree O(K) updates on preallocated rows
 func (m *UtilMatrix) Remove(t *Task) {
 	m.apply(t, -1)
 }
 
+//mc:allocfree shared body of Add and Remove
 func (m *UtilMatrix) apply(t *Task, sign float64) {
 	if t.Crit > m.k {
 		panic(fmt.Sprintf("mc: task %d criticality %d exceeds matrix K=%d", t.ID, t.Crit, m.k))
@@ -72,6 +83,8 @@ func (m *UtilMatrix) apply(t *Task, sign float64) {
 // Add in the same order, so the resulting sums are bit-identical;
 // it exists so hot paths can amortize the K divisions of Task.Util
 // across many matrix operations.
+//
+//mc:allocfree the probe loop's commit step
 func (m *UtilMatrix) AddRow(crit int, urow []float64) {
 	m.applyRow(crit, urow, +1)
 }
@@ -79,10 +92,13 @@ func (m *UtilMatrix) AddRow(crit int, urow []float64) {
 // RemoveRow undoes AddRow arithmetically (like Remove, the sums may
 // carry floating-point residue; prefer SaveRow/RestoreRow for exact
 // probing).
+//
+//mc:allocfree the probe loop's undo step
 func (m *UtilMatrix) RemoveRow(crit int, urow []float64) {
 	m.applyRow(crit, urow, -1)
 }
 
+//mc:allocfree shared body of AddRow and RemoveRow
 func (m *UtilMatrix) applyRow(crit int, urow []float64, sign float64) {
 	if crit > m.k {
 		panic(fmt.Sprintf("mc: criticality %d exceeds matrix K=%d", crit, m.k))
@@ -99,6 +115,8 @@ func (m *UtilMatrix) applyRow(crit int, urow []float64, sign float64) {
 // Add exactly: unlike Add-then-Remove, whose (u+x)-x arithmetic can
 // leave one-ulp residue in the sums, a restored row is bitwise
 // identical to the pre-probe state.
+//
+//mc:allocfree copies into caller-owned scratch
 func (m *UtilMatrix) SaveRow(j int, dst []float64) {
 	m.check(j, 1)
 	copy(dst[:m.k], m.u[(j-1)*m.k:(j-1)*m.k+m.k])
@@ -107,6 +125,8 @@ func (m *UtilMatrix) SaveRow(j int, dst []float64) {
 // RestoreRow writes back a row captured by SaveRow and decrements the
 // task count, exactly undoing one Add (or AddRow) of a task with
 // criticality j performed since the save.
+//
+//mc:allocfree copies from caller-owned scratch
 func (m *UtilMatrix) RestoreRow(j int, src []float64) {
 	m.check(j, 1)
 	copy(m.u[(j-1)*m.k:(j-1)*m.k+m.k], src[:m.k])
@@ -117,10 +137,14 @@ func (m *UtilMatrix) RestoreRow(j int, src []float64) {
 // Data()[(j-1)*K + (k-1)] = U_j^Psi(k). It exists so the schedulability
 // analysis can read the matrix without per-entry bounds checks; callers
 // must treat the slice as read-only.
+//
+//mc:allocfree returns the backing slice without copying
 func (m *UtilMatrix) Data() []float64 { return m.u }
 
 // TotalAt returns U^Psi(k) = sum_{j>=k} U_j^Psi(k), the subset
 // counterpart of Eq. 2.
+//
+//mc:allocfree summed per probe
 func (m *UtilMatrix) TotalAt(k int) float64 {
 	m.check(k, k)
 	var s float64
@@ -132,6 +156,8 @@ func (m *UtilMatrix) TotalAt(k int) float64 {
 
 // OwnLevelLoad returns sum_k U_k^Psi(k), the left-hand side of the
 // pessimistic schedulability condition Eq. 4 for this subset.
+//
+//mc:allocfree summed per core comparison in the classical schemes
 func (m *UtilMatrix) OwnLevelLoad() float64 {
 	var s float64
 	for k := 1; k <= m.k; k++ {
@@ -146,6 +172,8 @@ func (m *UtilMatrix) Clone() *UtilMatrix {
 }
 
 // Reset zeroes the matrix in place.
+//
+//mc:allocfree zeroes in place between allocation passes
 func (m *UtilMatrix) Reset() {
 	for i := range m.u {
 		m.u[i] = 0
@@ -163,6 +191,7 @@ func MatrixOf(ts *TaskSet, k int) *UtilMatrix {
 	return m
 }
 
+//mc:allocfree bounds guard on every matrix access
 func (m *UtilMatrix) check(j, k int) {
 	if j < 1 || j > m.k || k < 1 || k > m.k {
 		panic(fmt.Sprintf("mc: index (%d,%d) out of range for K=%d", j, k, m.k))

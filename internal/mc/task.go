@@ -45,6 +45,8 @@ type Task struct {
 // levels above l_i are not reached by the task (it is dropped), so the
 // saturated value is only used by bookkeeping code that iterates over
 // all K levels.
+//
+//mc:allocfree called per probe inside the allocator's inner loop
 func (t *Task) C(k int) float64 {
 	if k < 1 {
 		panic(fmt.Sprintf("mc: level %d out of range for task %d", k, t.ID))
@@ -57,6 +59,8 @@ func (t *Task) C(k int) float64 {
 
 // Util returns the level-k utilization u_i(k) = c_i(k)/p_i. Like C, it
 // saturates at the task's own criticality level.
+//
+//mc:allocfree called per probe inside the allocator's inner loop
 func (t *Task) Util(k int) float64 {
 	return t.C(k) / t.Period
 }
@@ -66,6 +70,8 @@ func (t *Task) Util(k int) float64 {
 // least kmax. The values are bitwise those of Util, so matrices built
 // from precomputed rows (UtilMatrix.AddRow) match matrices built from
 // Add exactly.
+//
+//mc:allocfree fills caller-owned storage
 func (t *Task) UtilRow(kmax int, dst []float64) {
 	for k := 1; k <= kmax; k++ {
 		dst[k-1] = t.Util(k)
@@ -75,6 +81,8 @@ func (t *Task) UtilRow(kmax int, dst []float64) {
 // MaxUtil returns the task's utilization at its own criticality level,
 // u_i(l_i) — the "maximum utilization" used by the classical FFD, BFD
 // and WFD heuristics.
+//
+//mc:allocfree called per comparison in the ordering sorts
 func (t *Task) MaxUtil() float64 {
 	return t.Util(t.Crit)
 }

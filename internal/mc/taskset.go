@@ -25,11 +25,15 @@ func NewTaskSet(tasks ...Task) *TaskSet {
 }
 
 // Len returns the number of tasks N.
+//
+//mc:allocfree trivial accessor
 func (ts *TaskSet) Len() int { return len(ts.Tasks) }
 
 // MaxCrit returns the highest criticality level K present in the set
 // (0 for an empty set). The paper calls this the system criticality
 // level; tasks need not populate every level below K.
+//
+//mc:allocfree scans the task slice only
 func (ts *TaskSet) MaxCrit() int {
 	k := 0
 	for i := range ts.Tasks {
@@ -60,6 +64,8 @@ func (ts *TaskSet) Validate() error {
 // own criticality is exactly j (Eq. 1). Only tasks with l_i = j
 // contribute, and k must not exceed j to be meaningful; the method
 // saturates per Task.Util.
+//
+//mc:allocfree scans the task slice only
 func (ts *TaskSet) LevelUtil(j, k int) float64 {
 	var u float64
 	for i := range ts.Tasks {
@@ -72,6 +78,8 @@ func (ts *TaskSet) LevelUtil(j, k int) float64 {
 
 // TotalUtilAt returns U(k), the total level-k utilization of all tasks
 // with criticality level k or higher (Eq. 2).
+//
+//mc:allocfree scans the task slice only
 func (ts *TaskSet) TotalUtilAt(k int) float64 {
 	var u float64
 	for i := range ts.Tasks {

@@ -29,20 +29,27 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot captures the current value of every registered metric.
+// Serialized snapshots feed the checkpoint journal and the golden
+// tests, so the capture itself iterates every metric map in sorted-key
+// order — the JSON encoder sorts map keys anyway, but keeping the walk
+// ordered means the capture sequence (and anything derived from it,
+// like future streaming emission) is reproducible too.
+//
+//mc:deterministic snapshots feed the checkpoint journal byte-identically
 func (r *Registry) Snapshot() *Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := &Snapshot{}
 	if len(r.counters) > 0 {
 		s.Counters = make(map[string]int64, len(r.counters))
-		for name, c := range r.counters {
-			s.Counters[name] = c.Value()
+		for _, name := range sortedKeys(r.counters) {
+			s.Counters[name] = r.counters[name].Value()
 		}
 	}
 	if len(r.gauges) > 0 {
 		s.Gauges = make(map[string]float64, len(r.gauges))
-		for name, g := range r.gauges {
-			s.Gauges[name] = g.Value()
+		for _, name := range sortedKeys(r.gauges) {
+			s.Gauges[name] = r.gauges[name].Value()
 		}
 	}
 	if len(r.hists) > 0 {

@@ -1,0 +1,49 @@
+package partition_test
+
+import (
+	"testing"
+
+	"catpa/internal/partition"
+	"catpa/internal/taskgen"
+
+	_ "catpa/internal/fpamc" // registers the amcrtb backend
+)
+
+// TestHotPathAllocFree is the runtime twin of the //mc:allocfree
+// annotations on the partitioning hot path: after one warm-up run,
+// Partitioner.Run and Evaluate must perform zero heap allocations per
+// call, under both analysis backends and every scheme. mclint's
+// allocfree pass proves the property statically; this test pins it
+// against compiler escape-analysis regressions the static model cannot
+// see (closures that start escaping, interface conversions introduced
+// by inlining changes).
+func TestHotPathAllocFree(t *testing.T) {
+	for _, name := range []string{partition.DefaultBackend, "amcrtb"} {
+		t.Run(name, func(t *testing.T) {
+			// K=2 keeps the set valid for the dual-criticality AMC-rtb
+			// backend; the EDF-VD path is K-generic so nothing is lost.
+			cfg := popConfig(4, 2)
+			ts := taskgen.GenerateIndexed(&cfg, 17, 0)
+			be, err := partition.NewBackend(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := partition.NewWithBackend(4, 2, be)
+			for _, scheme := range partition.Schemes {
+				p.Run(ts, scheme, nil) // warm up the amortized storage
+				allocs := testing.AllocsPerRun(50, func() {
+					p.Run(ts, scheme, nil)
+				})
+				if allocs != 0 {
+					t.Errorf("%s/%v: Run allocates %.1f times per call, want 0", name, scheme, allocs)
+				}
+				allocs = testing.AllocsPerRun(50, func() {
+					p.Evaluate(ts, scheme, nil)
+				})
+				if allocs != 0 {
+					t.Errorf("%s/%v: Evaluate allocates %.1f times per call, want 0", name, scheme, allocs)
+				}
+			}
+		})
+	}
+}

@@ -45,9 +45,13 @@ type edfvdBackend struct {
 }
 
 // Name implements Backend.
+//
+//mc:allocfree constant
 func (b *edfvdBackend) Name() string { return DefaultBackend }
 
 // MaxLevels implements Backend: the Theorem-1 analysis handles any K.
+//
+//mc:allocfree constant
 func (b *edfvdBackend) MaxLevels() int { return 0 }
 
 // Reset implements Backend.
@@ -85,6 +89,8 @@ func (b *edfvdBackend) Reset(m, k int) {
 // Prepare implements Backend: it precomputes every task's per-level
 // utilization row once, so the probe loops add K cached floats instead
 // of re-deriving c(k)/p.
+//
+//mc:allocfree utilization rows fill amortized storage
 func (b *edfvdBackend) Prepare(ts *mc.TaskSet) {
 	b.ts = ts
 	n := ts.Len()
@@ -95,6 +101,8 @@ func (b *edfvdBackend) Prepare(ts *mc.TaskSet) {
 }
 
 // Begin implements Backend.
+//
+//mc:allocfree resets matrices in place
 func (b *edfvdBackend) Begin() {
 	for c := 0; c < b.m; c++ {
 		b.mats[c].Reset()
@@ -103,6 +111,8 @@ func (b *edfvdBackend) Begin() {
 }
 
 // urow returns task ti's precomputed utilization row.
+//
+//mc:allocfree reslices the precomputed rows
 func (b *edfvdBackend) urow(ti int) []float64 {
 	return b.urows[ti*b.k : (ti+1)*b.k]
 }
@@ -112,6 +122,8 @@ func (b *edfvdBackend) urow(ti int) []float64 {
 // the early-exiting full Theorem-1 verdict, all virtual — they read
 // the matrix without mutating it, so classical placement never probes
 // and never fills a report.
+//
+//mc:allocfree all screens are virtual matrix reads
 func (b *edfvdBackend) FeasibleWith(c, ti int) bool {
 	crit := b.ts.Tasks[ti].Crit
 	d := b.mats[c].Data()
@@ -128,6 +140,8 @@ func (b *edfvdBackend) FeasibleWith(c, ti int) bool {
 // probeAdd tentatively adds task ti to core c, first snapshotting the
 // affected matrix row so probeUndo can restore it bitwise (an
 // arithmetic Remove could leave one-ulp residue in the sums).
+//
+//mc:allocfree row save/add on amortized scratch
 func (b *edfvdBackend) probeAdd(c, ti int) {
 	crit := b.ts.Tasks[ti].Crit
 	b.mats[c].SaveRow(crit, b.rowSave)
@@ -135,6 +149,8 @@ func (b *edfvdBackend) probeAdd(c, ti int) {
 }
 
 // probeUndo exactly reverts the matching probeAdd.
+//
+//mc:allocfree bitwise row restore
 func (b *edfvdBackend) probeUndo(c, ti int) {
 	b.mats[c].RestoreRow(b.ts.Tasks[ti].Crit, b.rowSave)
 }
@@ -142,6 +158,8 @@ func (b *edfvdBackend) probeUndo(c, ti int) {
 // ProbeUtil implements Backend: the core utilization U^{Psi_c + tau_i}
 // of Eq. 15, +Inf when the extended subset is infeasible. The analysis
 // is left in scratch for KeepProbe.
+//
+//mc:allocfree analysis lands in reusable scratch
 func (b *edfvdBackend) ProbeUtil(c, ti int, worst bool) float64 {
 	if edfvd.FastInfeasibleProbed(b.mats[c].Data(), b.k, b.ts.Tasks[ti].Crit, b.urow(ti)) {
 		// No condition can hold: CoreUtil would be +Inf under either
@@ -159,6 +177,8 @@ func (b *edfvdBackend) ProbeUtil(c, ti int, worst bool) float64 {
 }
 
 // KeepProbe implements Backend.
+//
+//mc:allocfree swaps, never copies
 func (b *edfvdBackend) KeepProbe() {
 	b.scratch, b.probeRep = b.probeRep, b.scratch
 }
@@ -166,6 +186,8 @@ func (b *edfvdBackend) KeepProbe() {
 // UtilFloor implements Backend via the certified Eq. 9 lower bound of
 // edfvd.UtilFloorProbed; conservative, so no potential winner of the
 // minimum-increment search is ever pruned away.
+//
+//mc:allocfree O(1) matrix reads
 func (b *edfvdBackend) UtilFloor(c, ti int) float64 {
 	return edfvd.UtilFloorProbed(b.mats[c].Data(), b.k, b.ts.Tasks[ti].Crit, b.urow(ti))
 }
@@ -174,6 +196,8 @@ func (b *edfvdBackend) UtilFloor(c, ti int) float64 {
 // analysis (held in probeRep since KeepProbe) is committed by swap;
 // otherwise the core's cached report is invalidated and the next
 // CoreUtil or ReportInto re-analyzes lazily.
+//
+//mc:allocfree commits by row-add and swap
 func (b *edfvdBackend) Place(c, ti int, probed bool) {
 	b.mats[c].AddRow(b.ts.Tasks[ti].Crit, b.urow(ti))
 	if probed {
@@ -185,6 +209,8 @@ func (b *edfvdBackend) Place(c, ti int, probed bool) {
 }
 
 // OwnLoad implements Backend: the Eq. 4 own-level load of core c.
+//
+//mc:allocfree matrix diagonal sum
 func (b *edfvdBackend) OwnLoad(c int) float64 {
 	return b.mats[c].OwnLevelLoad()
 }
@@ -194,6 +220,8 @@ func (b *edfvdBackend) OwnLoad(c int) float64 {
 // (always, for CA-TPA) and the shared empty-subset analysis for cores
 // without tasks. Only classical-scheme cores with tasks are analyzed
 // here — the one place the finishing pass still runs edfvd.AnalyzeInto.
+//
+//mc:allocfree re-analysis reuses the cached report's slices
 func (b *edfvdBackend) report(c int) *edfvd.Report {
 	if b.repOK[c] {
 		return &b.reps[c]
@@ -208,6 +236,8 @@ func (b *edfvdBackend) report(c int) *edfvd.Report {
 
 // CoreUtil implements Backend: the committed Eq. 9 core utilization,
 // in the requested reading.
+//
+//mc:allocfree reads the cached report
 func (b *edfvdBackend) CoreUtil(c int, worst bool) float64 {
 	rep := b.report(c)
 	if worst {
@@ -217,6 +247,8 @@ func (b *edfvdBackend) CoreUtil(c int, worst bool) float64 {
 }
 
 // ReportInto implements Backend.
+//
+//mc:allocfree fills the caller-owned CoreInfo in place
 func (b *edfvdBackend) ReportInto(c int, ci *CoreInfo) {
 	rep := b.report(c)
 	ci.Util = rep.CoreUtil

@@ -97,6 +97,8 @@ func (a *allocator) reset(m, k int) {
 // the set to the backend for per-set precomputation, invalidating the
 // ordering cache. Once prepared, any number of runPrepared calls may
 // share this work (the EvaluateAll batch path).
+//
+//mc:allocfree hands the set to the backend; panic path exempt
 func (a *allocator) prepSet(ts *mc.TaskSet) {
 	if maxCrit := ts.MaxCrit(); a.k < maxCrit {
 		panic(fmt.Sprintf("partition: K=%d below task set criticality %d", a.k, maxCrit))
@@ -107,6 +109,8 @@ func (a *allocator) prepSet(ts *mc.TaskSet) {
 }
 
 // clearRun resets the per-run state for the already-prepared task set.
+//
+//mc:allocfree truncates and refills amortized per-run state
 func (a *allocator) clearRun(scheme Scheme, opts *Options) {
 	a.scheme, a.opts = scheme, opts
 	a.failed = -1
@@ -126,6 +130,8 @@ func (a *allocator) clearRun(scheme Scheme, opts *Options) {
 
 // run executes one partitioning pass (allocation only; the caller
 // assembles a Result or Eval afterwards).
+//
+//mc:allocfree one pass over amortized state
 func (a *allocator) run(ts *mc.TaskSet, scheme Scheme, opts *Options) {
 	a.prepSet(ts)
 	a.runPrepared(scheme, opts)
@@ -133,6 +139,8 @@ func (a *allocator) run(ts *mc.TaskSet, scheme Scheme, opts *Options) {
 
 // runPrepared executes one pass over the task set installed by the
 // last prepSet.
+//
+//mc:allocfree dispatches to the per-scheme loops
 func (a *allocator) runPrepared(scheme Scheme, opts *Options) {
 	a.clearRun(scheme, opts)
 	switch scheme {
@@ -153,6 +161,8 @@ func (a *allocator) runPrepared(scheme Scheme, opts *Options) {
 // entirely, since their placement decisions never read core
 // utilizations (only own-level loads). Tracing forces the eager
 // utilization read because Step.Util reports the post-placement value.
+//
+//mc:allocfree per-core slices grow amortized; Step is a value
 func (a *allocator) place(ti, c int) {
 	prev := a.utils[c]
 	probed := a.probeOK
@@ -169,6 +179,8 @@ func (a *allocator) place(ti, c int) {
 	}
 }
 
+//
+//mc:allocfree records the failure index
 func (a *allocator) fail(ti int) {
 	a.failed = ti
 	a.probeOK = false
@@ -180,6 +192,8 @@ func (a *allocator) fail(ti int) {
 // orderTasks resolves the ordering policy against the scheme's default
 // and returns the sorted task order, computing it at most once per
 // prepared task set and policy (the order is a pure function of both).
+//
+//mc:allocfree ordering scratch reused across runs
 func (a *allocator) orderTasks(def OrderPolicy) []int {
 	policy := a.opts.order(def)
 	slot := 0
@@ -199,6 +213,8 @@ func (a *allocator) orderTasks(def OrderPolicy) []int {
 
 // runClassic implements FFD, BFD and WFD: tasks in decreasing
 // own-level utilization, cores compared by their Eq. 4 own-level load.
+//
+//mc:allocfree the FFD/BFD/WFD loop
 func (a *allocator) runClassic(s Scheme) {
 	order := a.orderTasks(MaxUtilOrder)
 	for _, ti := range order {
@@ -213,6 +229,8 @@ func (a *allocator) runClassic(s Scheme) {
 
 // pickClassic returns the target core for task ti under FFD/BFD/WFD,
 // or -1 when no core can accommodate it.
+//
+//mc:allocfree scans cached loads
 func (a *allocator) pickClassic(s Scheme, ti int) int {
 	best := -1
 	var bestLoad float64
@@ -242,6 +260,8 @@ func (a *allocator) pickClassic(s Scheme, ti int) int {
 // runHybrid allocates high-criticality tasks (l_i >= 2) with WFD and
 // then low-criticality tasks (l_i = 1) with FFD, both in decreasing
 // own-level utilization, per Rodriguez et al.
+//
+//mc:allocfree two classic passes
 func (a *allocator) runHybrid() {
 	order := a.orderTasks(MaxUtilOrder)
 	for _, ti := range order {
@@ -270,6 +290,8 @@ func (a *allocator) runHybrid() {
 
 // runCATPA implements Algorithm 1 plus the workload-imbalance fallback
 // of Section III-C.
+//
+//mc:allocfree Algorithm 1 inner loop
 func (a *allocator) runCATPA() {
 	order := a.orderTasks(ContributionOrder)
 	alpha := a.opts.alpha()
@@ -295,6 +317,8 @@ func (a *allocator) runCATPA() {
 
 // imbalance computes the current workload imbalance factor Lambda
 // (Eq. 16) over the cores' cached utilizations.
+//
+//mc:allocfree scans cached utilizations
 func (a *allocator) imbalance() float64 {
 	maxU, minU := math.Inf(-1), math.Inf(1)
 	for _, u := range a.utils {
@@ -313,6 +337,8 @@ func (a *allocator) imbalance() float64 {
 
 // keepProbe marks the backend's most recent probe analysis as the
 // winning candidate's, to be committed by place without re-analysis.
+//
+//mc:allocfree flags the backend swap
 func (a *allocator) keepProbe() {
 	a.be.KeepProbe()
 	a.probeOK = true
@@ -320,6 +346,8 @@ func (a *allocator) keepProbe() {
 
 // utilWith returns the backend's core utilization with task ti added
 // (Eq. 15), +Inf when the extended subset is infeasible.
+//
+//mc:allocfree delegates to the backend probe
 func (a *allocator) utilWith(c, ti int) float64 {
 	return a.be.ProbeUtil(c, ti, a.opts.eq9Literal())
 }
@@ -328,6 +356,8 @@ func (a *allocator) utilWith(c, ti int) float64 {
 // returns the feasible core with the smallest core-utilization
 // increment, ties broken by smaller index; -1 if none is feasible. The
 // winning probe's analysis is retained for place.
+//
+//mc:allocfree the probe loop of Algorithm 1
 func (a *allocator) pickMinIncrement(ti int) int {
 	best := -1
 	bestInc := math.Inf(1)
@@ -353,6 +383,8 @@ func (a *allocator) pickMinIncrement(ti int) int {
 
 // pickLeastLoaded returns the feasible core with minimum current core
 // utilization (the imbalance fallback), ties broken by smaller index.
+//
+//mc:allocfree the imbalance fallback scan
 func (a *allocator) pickLeastLoaded(ti int) int {
 	best := -1
 	bestU := math.Inf(1)
@@ -372,6 +404,8 @@ func (a *allocator) pickLeastLoaded(ti int) int {
 // pickFirstFeasible places on the first core that passes the backend's
 // schedulability test with the task added (the NoProbe ablation of
 // Algorithm 1).
+//
+//mc:allocfree the NoProbe ablation scan
 func (a *allocator) pickFirstFeasible(ti int) int {
 	for c := 0; c < a.m; c++ {
 		if !math.IsInf(a.utilWith(c, ti), 1) {
@@ -383,6 +417,8 @@ func (a *allocator) pickFirstFeasible(ti int) int {
 }
 
 // finishInto assembles the run's Result into r, reusing r's storage.
+//
+//mc:allocfree refills the Result's amortized slices
 func (a *allocator) finishInto(r *Result) {
 	r.Scheme = a.scheme
 	r.M, r.K = a.m, a.k
@@ -412,6 +448,8 @@ func (a *allocator) finishInto(r *Result) {
 // utilizations the full Result would report, folded with the exact
 // arithmetic of Result.finishMetrics, but without materializing
 // per-core task lists or lambda vectors.
+//
+//mc:allocfree folds backend utilizations into a value
 func (a *allocator) evaluate() Eval {
 	ev := Eval{Feasible: a.failed < 0, FailedTask: a.failed}
 	maxU, minU, sum := math.Inf(-1), math.Inf(1), 0.0
@@ -433,6 +471,8 @@ func (a *allocator) evaluate() Eval {
 	return ev
 }
 
+//
+//mc:allocfree amortized: reallocates only on growth
 func resizeFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
 		return make([]float64, n)
@@ -440,6 +480,8 @@ func resizeFloats(s []float64, n int) []float64 {
 	return s[:n]
 }
 
+//
+//mc:allocfree amortized: reallocates only on growth
 func resizeInts(s []int, n int) []int {
 	if cap(s) < n {
 		return make([]int, n)
@@ -447,6 +489,8 @@ func resizeInts(s []int, n int) []int {
 	return s[:n]
 }
 
+//
+//mc:allocfree amortized: reallocates only on growth
 func resizeBools(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)

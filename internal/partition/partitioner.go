@@ -41,6 +41,8 @@ func NewWithBackend(m, k int, be Backend) *Partitioner {
 }
 
 // Backend returns the analysis backend this Partitioner runs on.
+//
+//mc:allocfree accessor
 func (p *Partitioner) Backend() Backend { return p.a.be }
 
 // Reset re-dimensions the partitioner for m cores and k levels,
@@ -52,9 +54,13 @@ func (p *Partitioner) Reset(m, k int) {
 
 // M returns the configured core count; K the configured number of
 // criticality levels.
+//
+//mc:allocfree accessor
 func (p *Partitioner) M() int { return p.a.m }
 
 // K returns the configured number of criticality levels.
+//
+//mc:allocfree accessor
 func (p *Partitioner) K() int { return p.a.k }
 
 // Run partitions ts with the given scheme and returns the full Result,
@@ -65,6 +71,8 @@ func (p *Partitioner) K() int { return p.a.k }
 // remain valid only until the next Run or Reset; callers that retain a
 // result across runs must deep-copy it first. ts must not exceed the
 // configured K (same panic as Partition) and is not modified.
+//
+//mc:allocfree steady state: every Result slice is amortized in the Partitioner
 func (p *Partitioner) Run(ts *mc.TaskSet, scheme Scheme, opts *Options) *Result {
 	p.a.run(ts, scheme, opts)
 	p.a.finishInto(&p.res)
@@ -77,6 +85,8 @@ func (p *Partitioner) Run(ts *mc.TaskSet, scheme Scheme, opts *Options) *Result 
 // placement. The values are bit-identical to the corresponding Result
 // fields of Run. This is the allocation-free fast path used by the
 // figure sweeps, where per-core assignments are never inspected.
+//
+//mc:allocfree the sweep fast path
 func (p *Partitioner) Evaluate(ts *mc.TaskSet, scheme Scheme, opts *Options) Eval {
 	p.a.run(ts, scheme, opts)
 	return p.a.evaluate()
@@ -89,6 +99,8 @@ func (p *Partitioner) Evaluate(ts *mc.TaskSet, scheme Scheme, opts *Options) Eva
 // across the batch, so evaluating all five schemes costs noticeably
 // less than five Evaluate calls. Each Eval is bit-identical to the
 // corresponding Evaluate result.
+//
+//mc:allocfree appends to caller-owned dst only
 func (p *Partitioner) EvaluateAll(ts *mc.TaskSet, schemes []Scheme, opts *Options, dst []Eval) []Eval {
 	p.Prepare(ts)
 	for _, s := range schemes {
@@ -104,6 +116,8 @@ func (p *Partitioner) EvaluateAll(ts *mc.TaskSet, schemes []Scheme, opts *Option
 // separately. Prepare computes the utilization rows and task orderings
 // shared by every scheme of the batch; it allocates nothing in the
 // steady state.
+//
+//mc:allocfree per-set precomputation into amortized storage
 func (p *Partitioner) Prepare(ts *mc.TaskSet) {
 	p.a.prepSet(ts)
 }
@@ -113,6 +127,8 @@ func (p *Partitioner) Prepare(ts *mc.TaskSet) {
 // Summarize. Schemes of one batch must be interleaved as
 // Place/Summarize pairs: a Place discards the previous scheme's run
 // state.
+//
+//mc:allocfree placement over prepared state
 func (p *Partitioner) Place(scheme Scheme, opts *Options) {
 	p.a.runPrepared(scheme, opts)
 }
@@ -120,6 +136,8 @@ func (p *Partitioner) Place(scheme Scheme, opts *Options) {
 // Summarize folds the per-core analyses of the last Place into an
 // Eval, bit-identical to the corresponding Evaluate / EvaluateAll
 // result.
+//
+//mc:allocfree folds cached analyses into a value
 func (p *Partitioner) Summarize() Eval {
 	return p.a.evaluate()
 }

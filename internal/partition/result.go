@@ -79,6 +79,8 @@ type Result struct {
 
 // finishMetrics computes Usys, Uavg and Imbalance from the per-core
 // utilizations (Eqs. 10, 11, 16).
+//
+//mc:allocfree folds the per-core utilizations
 func (r *Result) finishMetrics() {
 	if len(r.Cores) == 0 {
 		return

@@ -108,6 +108,8 @@ type Options struct {
 // (Section IV-A: "the default values ... alpha = 0.7").
 const DefaultAlpha = 0.7
 
+//
+//mc:allocfree defaulting accessor
 func (o *Options) alpha() float64 {
 	//lint:ignore mclint/floateq deliberately exact: 0 is the zero-value sentinel selecting the default, not a computed quantity
 	if o == nil || o.Alpha == 0 {
@@ -116,6 +118,8 @@ func (o *Options) alpha() float64 {
 	return o.Alpha
 }
 
+//
+//mc:allocfree defaulting accessor
 func (o *Options) order(def OrderPolicy) OrderPolicy {
 	if o == nil || o.Order == DefaultOrder {
 		return def
@@ -123,8 +127,16 @@ func (o *Options) order(def OrderPolicy) OrderPolicy {
 	return o.Order
 }
 
-func (o *Options) noProbe() bool    { return o != nil && o.NoProbe }
-func (o *Options) trace() bool      { return o != nil && o.Trace }
+//
+//mc:allocfree defaulting accessor
+func (o *Options) noProbe() bool { return o != nil && o.NoProbe }
+
+//
+//mc:allocfree defaulting accessor
+func (o *Options) trace() bool { return o != nil && o.Trace }
+
+//
+//mc:allocfree defaulting accessor
 func (o *Options) eq9Literal() bool { return o != nil && o.Eq9Literal }
 
 // InfAlpha is a convenience for disabling the imbalance fallback.

@@ -265,6 +265,8 @@ func (c *Checkpoint) record(rec *pointRecord) error {
 }
 
 // flush rewrites the journal file from the in-memory state.
+//
+//mc:deterministic the journal must be byte-identical across equal runs
 func (c *Checkpoint) flush() error {
 	var b strings.Builder
 	hdr, err := json.Marshal(c.hdr)

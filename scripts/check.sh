@@ -48,11 +48,20 @@ step "oracle + metrics + golden suite"
 go test -count=1 -run 'SimOracle|Metrics|Golden|ZeroAllocs' \
     ./internal/partition ./internal/experiments ./internal/runner ./cmd/mcexp
 
+# The static-analysis suite by name: the pass fixtures (seeded
+# violations caught on exact lines), the self-hosting real-tree-clean
+# gate, and the runtime twin of the //mc:allocfree annotations. The
+# `mclint` step above already fails on real findings; this one fails
+# when the analyzer itself regresses.
+step "mclint suite + alloc-free proof"
+go test -count=1 ./internal/lint
+go test -count=1 -run 'HotPathAllocFree|BackendSchedulable' ./internal/partition ./internal/fpamc
+
 # Coverage ratchet: the line coverage of the internal packages must not
 # drop below the floor recorded when the gate was introduced. Raise the
 # floor when coverage durably improves; never lower it.
 step "coverage ratchet (internal/...)"
-COVER_FLOOR=92.0
+COVER_FLOOR=92.1
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 go test -count=1 -coverprofile="$profile" ./internal/... >/dev/null
