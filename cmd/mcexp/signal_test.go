@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The two-stage signal contract is exercised at the process level: the
+// helper re-executes this test binary, which TestMain routes into
+// run(...) with the real installSignalHandler, so the SIGINT path —
+// signal goroutine, context cancellation, checkpoint flush, resume
+// hint, second-signal abort — runs exactly as shipped.
+
+const (
+	helperEnv     = "MCEXP_HELPER_PROCESS"
+	helperArgsEnv = "MCEXP_HELPER_ARGS"
+	// argSep joins helper args inside the env var; NUL is rejected by
+	// exec, so the ASCII unit separator stands in.
+	argSep = "\x1f"
+	// helperSets sizes the sweep: big enough that the run is still
+	// mid-flight when the journal poll returns (the whole figure takes
+	// tens of seconds under -race), small enough that draining the one
+	// in-flight point stays quick.
+	helperSets = "2000"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(helperEnv) == "1" {
+		args := strings.Split(os.Getenv(helperArgsEnv), argSep)
+		os.Exit(run(args, os.Stdout, os.Stderr, installSignalHandler))
+	}
+	os.Exit(m.Run())
+}
+
+// lockedBuffer lets the test poll the helper's stderr while exec's
+// copier goroutine is still appending to it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startHelper launches this test binary as an mcexp process running a
+// sweep big enough to stay alive for several seconds, and waits until
+// its first checkpoint flush proves it is mid-run.
+func startHelper(t *testing.T, ckptDir string, args ...string) (*exec.Cmd, *lockedBuffer, *lockedBuffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		helperEnv+"=1",
+		helperArgsEnv+"="+strings.Join(args, argSep),
+	)
+	var stdout, stderr lockedBuffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start helper: %v", err)
+	}
+	journal := checkpointFile(ckptDir, "fig2", 2016, 2000)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, err := os.Stat(journal); err == nil && st.Size() > 0 {
+			return cmd, &stdout, &stderr
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("helper produced no checkpoint within 30s (stderr: %s)", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func exitCode(t *testing.T, cmd *exec.Cmd) int {
+	t.Helper()
+	err := cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("helper wait: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+func TestProcessSingleSignalDrainsAndHintsResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level signal test")
+	}
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	outDir := filepath.Join(dir, "csv")
+	cmd, _, stderr := startHelper(t, ckptDir,
+		"-figure", "2", "-sets", helperSets, "-csv", "-out", outDir, "-checkpoint", ckptDir)
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("SIGINT: %v", err)
+	}
+	code := exitCode(t, cmd)
+	msg := stderr.String()
+	if code != exitFatal {
+		t.Fatalf("exit code %d, want %d (stderr: %s)", code, exitFatal, msg)
+	}
+	if !strings.Contains(msg, "draining the in-flight point") {
+		t.Errorf("first signal not acknowledged:\n%s", msg)
+	}
+	if !strings.Contains(msg, "interrupted") {
+		t.Errorf("no interruption notice:\n%s", msg)
+	}
+	if !strings.Contains(msg, "resume with: mcexp -figure 2 -sets "+helperSets+" -seed 2016 -checkpoint "+ckptDir) {
+		t.Errorf("no resume hint:\n%s", msg)
+	}
+	if strings.Contains(msg, "aborted") {
+		t.Errorf("single signal must drain, not abort:\n%s", msg)
+	}
+	// The graceful path flushed partial results: the journal survives
+	// and the partial CSVs were written.
+	if st, err := os.Stat(checkpointFile(ckptDir, "fig2", 2016, 2000)); err != nil || st.Size() == 0 {
+		t.Errorf("checkpoint journal missing after drain: %v", err)
+	}
+	csvs, err := filepath.Glob(filepath.Join(outDir, "fig2-*.csv"))
+	if err != nil || len(csvs) == 0 {
+		t.Errorf("no partial CSVs after drain (err %v)", err)
+	}
+}
+
+func TestProcessSecondSignalAbortsImmediately(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level signal test")
+	}
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+	cmd, _, stderr := startHelper(t, ckptDir,
+		"-figure", "2", "-sets", helperSets, "-checkpoint", ckptDir)
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("first SIGINT: %v", err)
+	}
+	// The second signal must land after the handler consumed the
+	// first: wait for the drain acknowledgement on stderr.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(stderr.String(), "draining the in-flight point") {
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("no drain acknowledgement (stderr: %s)", stderr.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("second SIGINT: %v", err)
+	}
+	code := exitCode(t, cmd)
+	msg := stderr.String()
+	if code != exitFatal {
+		t.Errorf("exit code %d, want %d", code, exitFatal)
+	}
+	if !strings.Contains(msg, "aborted") {
+		t.Errorf("second signal did not abort:\n%s", msg)
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HandlerCtx bans context.Background and context.TODO in the admission
+// daemon's packages. Every context in a request path must descend from
+// the incoming request's context (http.Request.Context or a caller's
+// ctx parameter): a fresh root context silently detaches work from the
+// request deadline and the drain path, which is exactly the class of
+// leak the daemon's robustness layers exist to prevent. Code that
+// genuinely needs a root context (main functions, tests) lives outside
+// the listed packages.
+type HandlerCtx struct {
+	// Prefixes lists import-path prefixes the rule applies to.
+	Prefixes []string
+}
+
+// Name implements Analyzer.
+func (*HandlerCtx) Name() string { return "handlerctx" }
+
+// Doc implements Analyzer.
+func (*HandlerCtx) Doc() string {
+	return "no context.Background/TODO in the admission daemon; derive contexts from the request"
+}
+
+// Run implements Analyzer. Identifier uses are walked rather than call
+// expressions so passing context.Background as a value is caught too.
+func (r *HandlerCtx) Run(p *Pass) {
+	pkg := p.Pkg
+	enforced := false
+	for _, prefix := range r.Prefixes {
+		if pkg.ImportPath == prefix || strings.HasPrefix(pkg.ImportPath, prefix+"/") {
+			enforced = true
+			break
+		}
+	}
+	if !enforced {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[ident].(*types.Func)
+			if !ok || !isRootContextFunc(fn) {
+				return true
+			}
+			p.Report(ident, "use of context.%s in %s; request paths must derive their context from the request (http.Request.Context or a ctx parameter)", fn.Name(), pkg.ImportPath)
+			return true
+		})
+	}
+}
+
+// isRootContextFunc reports whether fn is context.Background or
+// context.TODO.
+func isRootContextFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Background" || fn.Name() == "TODO"
+}

@@ -1,0 +1,76 @@
+package lint
+
+import "testing"
+
+// The seeded-violation fixture: the shapes a hurried handler patch
+// would introduce — a fresh root context in a handler, a TODO in a
+// helper, and the function value passed around — must all be flagged.
+func TestHandlerCtxFlagsRootContexts(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func handle() error {
+	ctx := context.Background()
+	return work(ctx)
+}
+
+func helper() context.Context { return context.TODO() }
+
+var rootFn = context.Background
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func derived(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, 0)
+}
+`
+	rule := &HandlerCtx{Prefixes: []string{"catpa/internal/serve"}}
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/serve", "fix.go", src)
+	wantLines(t, findings, "handlerctx", 6, 10, 12)
+}
+
+func TestHandlerCtxCoversSubpackages(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func retry() error { return context.Background().Err() }
+`
+	rule := &HandlerCtx{Prefixes: []string{"catpa/internal/serve"}}
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/serve/client", "fix.go", src)
+	wantLines(t, findings, "handlerctx", 5)
+}
+
+func TestHandlerCtxScopedToListedPrefixes(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func elsewhere() error { return context.Background().Err() }
+`
+	rule := &HandlerCtx{Prefixes: []string{"catpa/internal/serve"}}
+	for _, path := range []string{
+		"catpa/internal/runner", // unrelated package
+		"catpa/internal/served", // shares the prefix string but not the path
+	} {
+		findings := checkFixture(t, []Analyzer{rule}, path, "fix.go", src)
+		wantLines(t, findings, "handlerctx")
+	}
+}
+
+func TestHandlerCtxSuppressible(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func boot() error {
+	//lint:ignore mclint/handlerctx daemon startup precedes any request
+	ctx := context.Background()
+	return ctx.Err()
+}
+`
+	rule := &HandlerCtx{Prefixes: []string{"catpa/internal/serve"}}
+	findings := checkFixture(t, []Analyzer{rule}, "catpa/internal/serve", "fix.go", src)
+	wantLines(t, findings, "handlerctx")
+}

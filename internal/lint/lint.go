@@ -42,6 +42,10 @@
 //	             internal/experiments that accept a context.Context
 //	             must take it as the first parameter, so cancellation
 //	             plumbing stays auditable.
+//	handlerctx – no context.Background or context.TODO anywhere in
+//	             internal/serve (the admission daemon and its client):
+//	             every context in a request path must descend from the
+//	             request, or work outlives deadlines and drains.
 //	obsname    – metric names passed to obs.Registry registration
 //	             methods must be compile-time constant strings that
 //	             satisfy obs.ValidName, and each full name may be
@@ -167,6 +171,7 @@ func DefaultPasses(modulePath string) []Analyzer {
 			modulePath + "/internal/runner",
 			modulePath + "/internal/experiments",
 		}},
+		&HandlerCtx{Prefixes: []string{modulePath + "/internal/serve"}},
 		&ObsName{ObsPath: modulePath + "/internal/obs"},
 		&BackendReg{PartitionPath: modulePath + "/internal/partition"},
 		&AllocFree{},

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the registry's Snapshot as
+// indented JSON — the scrape endpoint the admission daemon mounts at
+// /metricz and long-running tools can reuse next to net/http/pprof.
+// Snapshots taken here run concurrently with live metric updates; see
+// Snapshot for the consistency contract. A nil registry serves an
+// empty snapshot, matching the package's nil-tolerant metric methods.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s := &Snapshot{}
+		if r != nil {
+			s = r.Snapshot()
+		}
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			http.Error(w, "snapshot encoding failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if req.Method == http.MethodHead {
+			return
+		}
+		_, _ = w.Write(append(data, '\n'))
+	})
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHandlerServesSnapshotJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scrape.requests.total").Add(7)
+	reg.Gauge("scrape.depth").Set(3.5)
+	reg.Histogram("scrape.latency", nil).Observe(2 * time.Millisecond)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decoding scrape: %v", err)
+	}
+	if snap.Counters["scrape.requests.total"] != 7 {
+		t.Errorf("counter = %d, want 7", snap.Counters["scrape.requests.total"])
+	}
+	if snap.Gauges["scrape.depth"] != 3.5 {
+		t.Errorf("gauge = %v, want 3.5", snap.Gauges["scrape.depth"])
+	}
+	if h := snap.Histograms["scrape.latency"]; h.Count != 1 {
+		t.Errorf("histogram count = %d, want 1", h.Count)
+	}
+}
+
+func TestHandlerMethodsAndNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET nil registry: status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Errorf("nil-registry scrape is not JSON: %v", err)
+	}
+}
+
+// TestSnapshotDuringUpdates hammers Snapshot concurrently with metric
+// updates (the HTTP scrape scenario) and asserts every histogram
+// snapshot is internally consistent: Count equals the sum of Counts,
+// and counters never run backwards across consecutive snapshots. Run
+// with -race this also proves the scrape path is data-race free.
+func TestSnapshotDuringUpdates(t *testing.T) {
+	reg := NewRegistry()
+	ctr := reg.Counter("hammer.requests.total")
+	gauge := reg.Gauge("hammer.depth")
+	hist := reg.Histogram("hammer.latency", nil)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				ctr.Inc()
+				gauge.Set(float64(i))
+				hist.Observe(time.Duration(i%2000) * time.Microsecond)
+			}
+		}(w)
+	}
+
+	prevCount := int64(0)
+	prevTotal := int64(0)
+	for i := 0; i < 500; i++ {
+		s := reg.Snapshot()
+		h, ok := s.Histograms["hammer.latency"]
+		if !ok {
+			t.Fatal("histogram missing from snapshot")
+		}
+		var sum int64
+		for _, n := range h.Counts {
+			sum += n
+		}
+		if sum != h.Count {
+			t.Fatalf("snapshot %d: torn histogram: Count=%d, sum(Counts)=%d", i, h.Count, sum)
+		}
+		if h.Count < prevCount {
+			t.Fatalf("snapshot %d: histogram count ran backwards: %d < %d", i, h.Count, prevCount)
+		}
+		prevCount = h.Count
+		if c := s.Counters["hammer.requests.total"]; c < prevTotal {
+			t.Fatalf("snapshot %d: counter ran backwards: %d < %d", i, c, prevTotal)
+		} else {
+			prevTotal = c
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Drained, the derived count agrees with the classic total.
+	final := reg.Snapshot()
+	if h := final.Histograms["hammer.latency"]; h.Count != hist.Count() {
+		t.Errorf("at rest: snapshot count %d != histogram total %d", h.Count, hist.Count())
+	}
+}

@@ -5,10 +5,16 @@ import "time"
 // Snapshot is the serializable state of a registry at one instant.
 // Every field uses deterministic JSON (map keys marshal sorted), so a
 // snapshot of a deterministic run is byte-stable — the property the
-// golden-file tests rely on. Each metric is read atomically, but the
-// snapshot as a whole is not a consistent cut under concurrent
-// updates; the runner only snapshots at point boundaries, when the
-// worker pool is drained.
+// golden-file tests rely on.
+//
+// Snapshots are safe to take concurrently with metric updates (the
+// admission daemon serves them from a live HTTP scrape endpoint).
+// Each metric is read atomically and every histogram snapshot is
+// internally consistent — Count always equals the sum of Counts, so
+// percentile math over a scrape never indexes past its buckets — but
+// the snapshot as a whole is still not a consistent cut across
+// *different* metrics; only a drained pipeline (the runner snapshots
+// at point boundaries) guarantees cross-metric agreement.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
@@ -65,16 +71,25 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	hs := HistogramSnapshot{
 		BoundsNS: make([]int64, len(h.bounds)),
 		Counts:   make([]int64, len(h.counts)),
-		Count:    h.count.Load(),
-		SumNS:    h.sum.Load(),
-		MaxNS:    h.max.Load(),
 	}
 	for i, b := range h.bounds {
 		hs.BoundsNS[i] = int64(b)
 	}
+	// Count is derived from the bucket counts just read rather than
+	// loaded from the separate total: Observe updates the bucket and
+	// the total in two independent atomic steps, so under concurrent
+	// updates the loaded total can disagree with the buckets (a torn
+	// read that breaks percentile math over a scrape). Deriving it
+	// makes every histogram snapshot internally consistent; at rest
+	// the two definitions coincide, so journaled snapshots and golden
+	// files are unchanged.
 	for i := range h.counts {
-		hs.Counts[i] = h.counts[i].Load()
+		n := h.counts[i].Load()
+		hs.Counts[i] = n
+		hs.Count += n
 	}
+	hs.SumNS = h.sum.Load()
+	hs.MaxNS = h.max.Load()
 	return hs
 }
 

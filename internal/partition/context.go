@@ -1,0 +1,57 @@
+package partition
+
+import (
+	"context"
+
+	"catpa/internal/mc"
+)
+
+// Context-aware evaluation: the admission-control daemon plumbs
+// per-request deadlines from its HTTP timeout middleware down to the
+// Partitioner, and these wrappers are where the context meets the
+// engine. Cancellation is observed at run boundaries — before each
+// placement pass — not inside the inner loops: a single pass over a
+// task set is microseconds, so checking between passes bounds the
+// overrun by one pass while keeping the hot loops free of interface
+// dispatch (and their 0 allocs/op guarantee untouched).
+
+// RunContext is Run guarded by ctx: if ctx is already done the run is
+// skipped and (nil, ctx.Err()) returned; otherwise it behaves exactly
+// like Run. The Result is owned by the Partitioner, as with Run.
+func (p *Partitioner) RunContext(ctx context.Context, ts *mc.TaskSet, scheme Scheme, opts *Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.Run(ts, scheme, opts), nil
+}
+
+// EvaluateContext is Evaluate guarded by ctx: if ctx is already done
+// the evaluation is skipped and ctx.Err() returned; otherwise the Eval
+// is bit-identical to Evaluate's.
+func (p *Partitioner) EvaluateContext(ctx context.Context, ts *mc.TaskSet, scheme Scheme, opts *Options) (Eval, error) {
+	if err := ctx.Err(); err != nil {
+		return Eval{}, err
+	}
+	return p.Evaluate(ts, scheme, opts), nil
+}
+
+// EvaluateAllContext is EvaluateAll with a deadline: ctx is checked
+// before each scheme's placement pass, and on expiry the Evals
+// completed so far are returned alongside ctx.Err() — the partial
+// verdict the admission daemon serves when a request deadline fires
+// mid-batch. A nil error means every scheme was evaluated; each Eval
+// is bit-identical to the corresponding EvaluateAll entry.
+func (p *Partitioner) EvaluateAllContext(ctx context.Context, ts *mc.TaskSet, schemes []Scheme, opts *Options, dst []Eval) ([]Eval, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	p.Prepare(ts)
+	for _, s := range schemes {
+		if err := ctx.Err(); err != nil {
+			return dst, err
+		}
+		p.Place(s, opts)
+		dst = append(dst, p.Summarize())
+	}
+	return dst, nil
+}

@@ -1,0 +1,112 @@
+package partition
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"catpa/internal/mc"
+	"catpa/internal/taskgen"
+)
+
+func ctxTestSet(t *testing.T) *mc.TaskSet {
+	t.Helper()
+	cfg := taskgen.DefaultConfig()
+	cfg.M, cfg.K, cfg.NSU = 4, 2, 0.6
+	cfg.N = taskgen.IntRange{Lo: 24, Hi: 24}
+	return taskgen.GenerateIndexed(&cfg, 11, 0)
+}
+
+func TestContextVariantsMatchPlainCalls(t *testing.T) {
+	ts := ctxTestSet(t)
+	ctx := context.Background()
+
+	p, q := New(4, 2), New(4, 2)
+	for _, s := range Schemes {
+		got, err := p.EvaluateContext(ctx, ts, s, nil)
+		if err != nil {
+			t.Fatalf("%v: EvaluateContext: %v", s, err)
+		}
+		if want := q.Evaluate(ts, s, nil); got != want {
+			t.Errorf("%v: EvaluateContext = %+v, want %+v", s, got, want)
+		}
+
+		res, err := p.RunContext(ctx, ts, s, nil)
+		if err != nil {
+			t.Fatalf("%v: RunContext: %v", s, err)
+		}
+		if want := q.Run(ts, s, nil); res.Feasible != want.Feasible || res.FailedTask != want.FailedTask {
+			t.Errorf("%v: RunContext verdict (%v,%d), want (%v,%d)", s, res.Feasible, res.FailedTask, want.Feasible, want.FailedTask)
+		}
+	}
+
+	all, err := p.EvaluateAllContext(ctx, ts, Schemes, nil, nil)
+	if err != nil {
+		t.Fatalf("EvaluateAllContext: %v", err)
+	}
+	want := q.EvaluateAll(ts, Schemes, nil, nil)
+	if len(all) != len(want) {
+		t.Fatalf("EvaluateAllContext returned %d evals, want %d", len(all), len(want))
+	}
+	for i := range all {
+		if all[i] != want[i] {
+			t.Errorf("scheme %v: %+v != %+v", Schemes[i], all[i], want[i])
+		}
+	}
+}
+
+func TestContextCancelledBeforeRun(t *testing.T) {
+	ts := ctxTestSet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	p := New(4, 2)
+	if _, err := p.RunContext(ctx, ts, CATPA, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext after cancel: err = %v, want context.Canceled", err)
+	}
+	if _, err := p.EvaluateContext(ctx, ts, CATPA, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvaluateContext after cancel: err = %v, want context.Canceled", err)
+	}
+	if evals, err := p.EvaluateAllContext(ctx, ts, Schemes, nil, nil); !errors.Is(err, context.Canceled) || len(evals) != 0 {
+		t.Errorf("EvaluateAllContext after cancel: %d evals, err = %v", len(evals), err)
+	}
+}
+
+// cancelAfterCtx cancels itself after Err has been consulted n times:
+// a deterministic stand-in for a deadline firing mid-batch.
+type cancelAfterCtx struct {
+	context.Context
+	calls, n int
+}
+
+func (c *cancelAfterCtx) Err() error {
+	c.calls++
+	if c.calls > c.n {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func TestEvaluateAllContextPartialOnExpiry(t *testing.T) {
+	ts := ctxTestSet(t)
+	p, q := New(4, 2), New(4, 2)
+	want := q.EvaluateAll(ts, Schemes, nil, nil)
+
+	// The batch checks ctx once up front and once per scheme: allowing
+	// 1+k checks yields exactly k completed schemes.
+	for k := 0; k < len(Schemes); k++ {
+		ctx := &cancelAfterCtx{Context: context.Background(), n: 1 + k}
+		evals, err := p.EvaluateAllContext(ctx, ts, Schemes, nil, nil)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("k=%d: err = %v, want deadline exceeded", k, err)
+		}
+		if len(evals) != k {
+			t.Fatalf("k=%d: %d partial evals, want %d", k, len(evals), k)
+		}
+		for i := range evals {
+			if evals[i] != want[i] {
+				t.Errorf("k=%d scheme %v: partial eval %+v != full-batch %+v", k, Schemes[i], evals[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import "sync"
+
+// cacheKey is the verdict-cache identity: the canonical task-set hash
+// plus every request parameter that influences the verdict. Tag and
+// timeout are deliberately absent — they never change the answer.
+type cacheKey struct {
+	hash    uint64
+	m, k    int
+	backend string
+	schemes string
+}
+
+// verdictCache is a bounded FIFO map of full-analysis responses. Only
+// complete verdicts are cached (never degraded or partial ones), so a
+// hit is always as good as re-running the analysis. Collisions on the
+// 64-bit hash would serve a wrong verdict; the key carries the set's
+// full parameter hash and the cache is advisory, matching the
+// documented TaskSetHash contract.
+type verdictCache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[cacheKey]*Response
+	order []cacheKey // FIFO eviction ring
+	next  int
+}
+
+func newVerdictCache(max int) *verdictCache {
+	if max <= 0 {
+		return nil
+	}
+	return &verdictCache{
+		max:   max,
+		m:     make(map[cacheKey]*Response, max),
+		order: make([]cacheKey, 0, max),
+	}
+}
+
+// get returns the cached response for k, or nil. Callers must treat
+// the result as read-only (the handler responds via a shallow copy).
+func (c *verdictCache) get(k cacheKey) *Response {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[k]
+}
+
+// put stores resp under k, evicting the oldest entry once full.
+func (c *verdictCache) put(k cacheKey, resp *Response) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; ok {
+		c.m[k] = resp
+		return
+	}
+	if len(c.order) < c.max {
+		c.order = append(c.order, k)
+	} else {
+		delete(c.m, c.order[c.next])
+		c.order[c.next] = k
+		c.next = (c.next + 1) % c.max
+	}
+	c.m[k] = resp
+}
+
+// len reports the number of cached verdicts.
+func (c *verdictCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

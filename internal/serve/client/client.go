@@ -1,0 +1,232 @@
+// Package client is the admission daemon's Go client: a thin HTTP
+// wrapper around POST /v1/admit with deadline-budgeted retries —
+// capped exponential backoff with full jitter, Retry-After awareness
+// for shed (429) responses, and a hard stop whenever the next backoff
+// would outlive the caller's context. The load harness
+// (cmd/mcserveload) drives the daemon through this client, so its
+// retry behavior is exercised by the same chaos the daemon is.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"catpa/internal/serve"
+)
+
+// Config tunes a Client. The zero value of every field selects a
+// default.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:8377".
+	BaseURL string
+
+	// HTTPClient optionally overrides the transport (tests inject
+	// httptest clients). Default http.DefaultClient.
+	HTTPClient *http.Client
+
+	// MaxAttempts bounds the total tries per Admit call (first attempt
+	// included). Default 4.
+	MaxAttempts int
+
+	// BaseBackoff is the first retry's backoff ceiling; attempt i
+	// draws uniformly from [0, min(BaseBackoff·2^i, MaxBackoff)] (full
+	// jitter). Defaults 50ms and 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Seed fixes the jitter sequence for reproducible tests; 0 keeps
+	// the deterministic default stream.
+	Seed int64
+
+	// OnAttempt, when set, observes every attempt's HTTP status (0
+	// for transport errors). The load harness counts sheds and
+	// transient failures through it — retries would otherwise hide
+	// them from the final outcome.
+	OnAttempt func(status int)
+}
+
+// Client posts admission requests with retries. It is safe for
+// concurrent use.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// StatusError is returned when the daemon answers with a terminal
+// non-2xx status; Resp carries the decoded body when there was one.
+type StatusError struct {
+	Status int
+	Resp   *serve.Response
+
+	// retryAfter carries the daemon's Retry-After hint on sheds, so
+	// backoff can honor it.
+	retryAfter time.Duration
+}
+
+func (e *StatusError) Error() string {
+	if e.Resp != nil && e.Resp.Error != "" {
+		return fmt.Sprintf("client: daemon answered %d: %s", e.Status, e.Resp.Error)
+	}
+	return fmt.Sprintf("client: daemon answered %d", e.Status)
+}
+
+// New builds a Client for the daemon at cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: BaseURL required")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// retryable reports whether a status is worth another attempt: shed
+// (429), transient daemon trouble (500), drain (503) and server-side
+// deadline expiry (504, the retry may catch a calmer queue).
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	default:
+		return false
+	}
+}
+
+// Admit posts req, retrying transient failures while ctx's deadline
+// budget lasts. On success the daemon's response is returned along
+// with the number of attempts spent. On a terminal failure the error
+// is a *StatusError when the daemon answered, and the last transport
+// error otherwise; a nil Response is returned alongside.
+func (c *Client) Admit(ctx context.Context, req *serve.Request) (*serve.Response, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: marshal request: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt-1, lastErr)); err != nil {
+				return nil, attempt, fmt.Errorf("client: deadline budget exhausted after %d attempts: %w (last: %v)", attempt, err, lastErr)
+			}
+		}
+		resp, err := c.post(ctx, body)
+		switch {
+		case err == nil:
+			return resp, attempt + 1, nil
+		case ctx.Err() != nil:
+			return nil, attempt + 1, fmt.Errorf("client: %w (last: %v)", ctx.Err(), err)
+		}
+		lastErr = err
+		var se *StatusError
+		if asStatus(err, &se) && !retryable(se.Status) {
+			return nil, attempt + 1, err
+		}
+	}
+	return nil, c.cfg.MaxAttempts, fmt.Errorf("client: gave up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// post performs one attempt.
+func (c *Client) post(ctx context.Context, body []byte) (*serve.Response, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/admit", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hr, err := c.cfg.HTTPClient.Do(hreq)
+	if err != nil {
+		if c.cfg.OnAttempt != nil {
+			c.cfg.OnAttempt(0)
+		}
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer hr.Body.Close()
+	if c.cfg.OnAttempt != nil {
+		c.cfg.OnAttempt(hr.StatusCode)
+	}
+	var resp serve.Response
+	decodeErr := json.NewDecoder(hr.Body).Decode(&resp)
+	if hr.StatusCode >= 200 && hr.StatusCode < 300 {
+		if decodeErr != nil {
+			return nil, fmt.Errorf("client: decode response: %w", decodeErr)
+		}
+		return &resp, nil
+	}
+	se := &StatusError{Status: hr.StatusCode}
+	if decodeErr == nil {
+		se.Resp = &resp
+	}
+	if hr.StatusCode == http.StatusTooManyRequests {
+		if secs, err := strconv.Atoi(hr.Header.Get("Retry-After")); err == nil && secs > 0 {
+			se.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, se
+}
+
+// backoff draws the sleep before retry number attempt+1: full jitter
+// over an exponentially growing, capped ceiling — or the daemon's own
+// Retry-After hint when the previous answer was a shed.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	var se *StatusError
+	if asStatus(lastErr, &se) && se.retryAfter > 0 {
+		return se.retryAfter
+	}
+	ceil := c.cfg.BaseBackoff << uint(attempt)
+	if ceil > c.cfg.MaxBackoff || ceil <= 0 {
+		ceil = c.cfg.MaxBackoff
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(ceil) + 1))
+}
+
+// sleep waits for d unless the remaining deadline budget cannot cover
+// it, failing fast instead of burning the caller's budget on a nap.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < d {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// asStatus unwraps err into *StatusError, reporting success.
+func asStatus(err error, target **StatusError) bool {
+	se, ok := err.(*StatusError)
+	if ok {
+		*target = se
+	}
+	return ok
+}

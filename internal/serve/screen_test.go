@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"catpa/internal/mc"
+	"catpa/internal/partition"
+	"catpa/internal/taskgen"
+)
+
+func TestScreenVerdictString(t *testing.T) {
+	if ScreenUncertain.String() != "uncertain" || ScreenReject.String() != "reject" {
+		t.Errorf("verdict strings: %v %v", ScreenUncertain, ScreenReject)
+	}
+	if got := ScreenVerdict(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown verdict renders %q", got)
+	}
+}
+
+func TestScreenRejectConditions(t *testing.T) {
+	// Condition 1: aggregate level utilization beyond platform
+	// capacity.
+	over := mc.NewTaskSet(
+		mc.MustTask(1, "a", 10, 4, 4),
+		mc.MustTask(2, "b", 10, 4, 4),
+		mc.MustTask(3, "c", 10, 4, 4),
+	)
+	if v, reason := Screen(over, 1, 2); v != ScreenReject || !strings.Contains(reason, "platform capacity") {
+		t.Errorf("capacity overload: %v %q", v, reason)
+	}
+
+	// Condition 2: three just-over-half tasks cannot share two cores
+	// even though their sum fits.
+	heavy := mc.NewTaskSet(
+		mc.MustTask(1, "a", 10, 5.2),
+		mc.MustTask(2, "b", 10, 5.2),
+		mc.MustTask(3, "c", 10, 5.2),
+	)
+	if v, reason := Screen(heavy, 2, 1); v != ScreenReject || !strings.Contains(reason, "cannot share") {
+		t.Errorf("pigeonhole overload: %v %q", v, reason)
+	}
+
+	// A clearly schedulable set must stay uncertain — the screen never
+	// admits.
+	easy := mc.NewTaskSet(
+		mc.MustTask(1, "a", 10, 2, 3),
+		mc.MustTask(2, "b", 10, 2),
+	)
+	if v, reason := Screen(easy, 2, 2); v != ScreenUncertain || reason != "" {
+		t.Errorf("easy set: %v %q", v, reason)
+	}
+}
+
+// TestScreenSoundnessDifferential is the subset-property proof the
+// degraded tier rests on: whenever the probe-only screen certifies a
+// reject, the full analysis — every scheme crossed with every
+// registered backend — must reject too. A single counterexample would
+// mean degraded mode can refuse a set the daemon would normally
+// admit, which is the one lie it must never tell.
+func TestScreenSoundnessDifferential(t *testing.T) {
+	backends := partition.BackendNames()
+	if len(backends) < 2 {
+		t.Fatalf("differential test needs both backends, have %v", backends)
+	}
+	rejects, uncertain := 0, 0
+	for _, nsu := range []float64{0.6, 0.8, 0.95} {
+		for seed := int64(0); seed < 10; seed++ {
+			cfg := taskgen.DefaultConfig()
+			cfg.M, cfg.K, cfg.NSU = 4, 2, nsu
+			cfg.N = taskgen.IntRange{Lo: 16, Hi: 16}
+			ts := taskgen.GenerateIndexed(&cfg, seed, 0)
+			for m := 1; m <= 4; m++ {
+				v, reason := Screen(ts, m, 2)
+				if v != ScreenReject {
+					uncertain++
+					continue
+				}
+				rejects++
+				for _, name := range backends {
+					be, err := partition.NewBackend(name)
+					if err != nil {
+						t.Fatalf("NewBackend(%q): %v", name, err)
+					}
+					p := partition.NewWithBackend(m, 2, be)
+					for _, scheme := range partition.Schemes {
+						if p.Evaluate(ts, scheme, nil).Feasible {
+							t.Fatalf("UNSOUND: screen rejected (nsu=%v seed=%d m=%d: %s) but %v/%s admits",
+								nsu, seed, m, reason, scheme, name)
+						}
+					}
+				}
+			}
+		}
+	}
+	// The sweep must actually exercise both sides of the screen.
+	if rejects == 0 || uncertain == 0 {
+		t.Fatalf("sweep imbalance: %d rejects, %d uncertain", rejects, uncertain)
+	}
+}
+
+// TestScreenAgreesWithDegradedEndpoint pins the API contract: the
+// degraded tier's verdict is exactly Screen's.
+func TestScreenAgreesWithDegradedEndpoint(t *testing.T) {
+	s := NewServer(Config{})
+	defer func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	}()
+	ts := overloadedSet(t)
+	job, err := normalize(&Request{TaskSet: ts, M: 2}, 10000, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := s.degradedResponse(job)
+	v, reason := Screen(ts, 2, ts.MaxCrit())
+	if v != ScreenReject {
+		t.Fatalf("fixture not overloaded enough")
+	}
+	if resp.Verdict != VerdictRejected || resp.Reason != reason || !resp.Degraded {
+		t.Errorf("degraded endpoint disagrees with Screen: %+v vs %q", resp, reason)
+	}
+}
