@@ -378,3 +378,42 @@ func BenchmarkSimulateCoreFP(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkOnlineEvent times one online arrival/departure event —
+// release a task, then admit it back — handled two ways: "batch"
+// re-partitions the entire set per event (the pre-session answer to
+// online workloads), "incremental" commits the O(1) delta pair on a
+// live session. The ratio between the two is the payoff of the
+// incremental Backend contract, and the incremental variant must stay
+// at 0 allocs/op.
+func BenchmarkOnlineEvent(b *testing.B) {
+	cfg := catpa.DefaultGenConfig()
+	ts := catpa.GenerateTaskSet(&cfg, 2016, 0)
+	n := len(ts.Tasks)
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		p := catpa.NewPartitioner(8, 4)
+		for i := 0; i < b.N; i++ {
+			// The event invalidates the whole partition: rebuild it.
+			p.Evaluate(ts, catpa.CATPA, nil)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		p := catpa.NewPartitioner(8, 4)
+		p.StartIncremental(ts, catpa.CATPA, nil)
+		for ti := 0; ti < n; ti++ {
+			p.Admit(ti)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ti := i % n
+			if p.Assigned(ti) < 0 {
+				continue
+			}
+			p.Release(ti)
+			p.Admit(ti)
+		}
+	})
+}

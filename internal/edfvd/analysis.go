@@ -354,16 +354,17 @@ func FeasibleProbed(d []float64, k, crit int, urow []float64) bool {
 				}
 				num += v
 			}
-			num /= prod
 			dd := d[(cond-2)*k+(cond-2)]
 			if crit == cond-1 {
 				dd += urow[cond-2]
 			}
-			den := 1 - dd/prod
-			if den <= Eps {
+			// Eq. 6 multiplied through by the running product P (see
+			// lambdas): one division, same factor.
+			rem := prod - dd
+			if rem <= Eps*prod {
 				return false
 			}
-			lambda = num / den
+			lambda = num / rem
 			if lambda < 0 || lambda >= 1 {
 				return false
 			}
@@ -501,14 +502,17 @@ func lambdas(d []float64, k int, lambda []float64, ok []bool) {
 		for idx := (j-1)*k + (j - 2); idx < k*k; idx += k {
 			num += d[idx]
 		}
-		num /= prod
-		den := 1 - d[(j-2)*k+(j-2)]/prod
-		if den <= Eps {
+		// Eq. 6 multiplied through by P = prod: the quotient
+		// (num/P) / (1 - U_{j-1}(j-1)/P) equals num / (P - U_{j-1}(j-1)),
+		// computed with a single division; the denominator-validity test
+		// 1 - U/P <= Eps becomes P - U <= Eps*P (P > 0 past the guard).
+		rem := prod - d[(j-2)*k+(j-2)]
+		if rem <= Eps*prod {
 			valid = false
 			lambda[j-1], ok[j-1] = math.NaN(), false
 			continue
 		}
-		l := num / den
+		l := num / rem
 		if l < 0 || l >= 1 {
 			valid = false
 			lambda[j-1], ok[j-1] = l, false

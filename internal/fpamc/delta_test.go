@@ -1,0 +1,236 @@
+package fpamc
+
+import (
+	"math/rand"
+	"testing"
+
+	"catpa/internal/mc"
+)
+
+// handSet is the three-task dual-criticality set of the hand-computed
+// delta tests. All periods and budgets are small integers, so every
+// fixed point below is exact integer arithmetic in float64 and the
+// expected responses can be verified by hand:
+//
+//	tau0: HI, T=10, C=(1,2)   rank 0 (deadline-monotonic)
+//	tau1: LO, T=12, C=(2)     rank 1
+//	tau2: HI, T=20, C=(3,6)   rank 2
+func handSet() *mc.TaskSet {
+	return &mc.TaskSet{Tasks: []mc.Task{
+		{ID: 1, Period: 10, Crit: 2, WCET: []float64{1, 2}},
+		{ID: 2, Period: 12, Crit: 1, WCET: []float64{2}},
+		{ID: 3, Period: 20, Crit: 2, WCET: []float64{3, 6}},
+	}}
+}
+
+// checkHandResponses asserts core c of b holds exactly the
+// hand-computed committed responses of the full handSet subset, keyed
+// by task index (the member order may differ between placements):
+//
+//	tau0: R_LO = 1 (no interference), R_HI = 2, R* = 2
+//	tau1: R_LO = 2 + ceil(3/10)*1 = 3 (one tau0 hit)
+//	tau2: R_LO = 3 + ceil(6/10)*1 + ceil(6/12)*2 = 6
+//	      R_HI = 6 + ceil(8/10)*2 = 8
+//	      R*   = 6 + ceil(10/10)*2 + ceil(6/12)*2 = 10
+//	      (tau1's transition term frozen at its own R_LO window 6)
+func checkHandResponses(t *testing.T, b *Backend, c int) {
+	t.Helper()
+	wantLO := map[int]float64{0: 1, 1: 3, 2: 6}
+	wantHI := map[int]float64{0: 2, 2: 8}
+	wantTR := map[int]float64{0: 2, 2: 10}
+	wantRank := map[int]int{0: 0, 1: 1, 2: 2}
+	if len(b.cores[c]) != 3 {
+		t.Fatalf("core %d holds %d members, want 3", c, len(b.cores[c]))
+	}
+	for j, ti := range b.cores[c] {
+		if b.ranks[c][j] != wantRank[ti] {
+			t.Errorf("task %d: rank %d, want %d", ti, b.ranks[c][j], wantRank[ti])
+		}
+		if b.rLO[c][j] != wantLO[ti] {
+			t.Errorf("task %d: R_LO = %v, want %v", ti, b.rLO[c][j], wantLO[ti])
+		}
+		if hi, ok := wantHI[ti]; ok {
+			if b.rHI[c][j] != hi {
+				t.Errorf("task %d: R_HI = %v, want %v", ti, b.rHI[c][j], hi)
+			}
+			if b.rTR[c][j] != wantTR[ti] {
+				t.Errorf("task %d: R* = %v, want %v", ti, b.rTR[c][j], wantTR[ti])
+			}
+		}
+	}
+	if !b.allOK[c] {
+		t.Errorf("core %d marked unschedulable; every hand response is within its deadline", c)
+	}
+}
+
+// TestBackendDeltaHandComputed pins the warm-started commit delta
+// against hand-run AMC-rtb fixed points, in two placement orders: the
+// in-priority-order placement (each commit touches no earlier member)
+// and the out-of-order placement (committing tau1 displaces tau2's
+// rank and warm-recomputes its responses). Both must land on the same
+// hand values, and removal must trigger the exact-recompute fallback
+// whose rebuilt responses are again hand-checkable.
+func TestBackendDeltaHandComputed(t *testing.T) {
+	ts := handSet()
+
+	for name, order := range map[string][]int{
+		"priority-order":   {0, 1, 2},
+		"displacing-order": {0, 2, 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			b := &Backend{}
+			b.Reset(1, 2)
+			b.Prepare(ts)
+			if !b.warmOK {
+				t.Fatal("hand set rejected by the warm-start gate; budgets are far from Eps")
+			}
+			b.Begin()
+			for _, ti := range order {
+				if !b.FeasibleWith(0, ti) {
+					t.Fatalf("task %d rejected on a hand-schedulable core", ti)
+				}
+				b.Place(0, ti, false)
+			}
+			checkHandResponses(t, b, 0)
+			// Accumulate the expected load with runtime float adds in
+			// placement order; a constant-folded sum would round once
+			// at the end instead of once per add.
+			want := 0.0
+			for _, ti := range order {
+				want += ts.Tasks[ti].MaxUtil()
+			}
+			if b.OwnLoad(0) != want {
+				t.Errorf("OwnLoad = %v, want %v", b.OwnLoad(0), want)
+			}
+
+			// Remove the highest-priority task: the removal delta must
+			// schedule the fallback (dirty), and the rebuilt core must
+			// hold the hand responses of the surviving pair: tau1 alone
+			// at rank 0 (R_LO = 2), tau2 with one tau1 hit
+			// (R_LO = 3 + ceil(5/12)*2 = 5, R_HI = 6,
+			// R* = 6 + ceil(5/12)*2 = 8).
+			b.Remove(0, 0)
+			if !b.dirty[0] {
+				t.Fatal("Remove did not mark the core for the exact-recompute fallback")
+			}
+			wantLoad := 0.0
+			for _, ti := range b.cores[0] {
+				wantLoad += ts.Tasks[ti].MaxUtil()
+			}
+			if got := b.OwnLoad(0); got != wantLoad {
+				t.Errorf("post-removal OwnLoad = %v, want %v", got, wantLoad)
+			}
+			if b.dirty[0] {
+				t.Fatal("query left the core dirty; the fallback did not run")
+			}
+			wantLO := map[int]float64{1: 2, 2: 5}
+			for j, ti := range b.cores[0] {
+				if b.rLO[0][j] != wantLO[ti] {
+					t.Errorf("post-removal task %d: R_LO = %v, want %v", ti, b.rLO[0][j], wantLO[ti])
+				}
+			}
+			for j, ti := range b.cores[0] {
+				if ti != 2 {
+					continue
+				}
+				if b.rHI[0][j] != 6 {
+					t.Errorf("post-removal tau2: R_HI = %v, want 6", b.rHI[0][j])
+				}
+				if b.rTR[0][j] != 8 {
+					t.Errorf("post-removal tau2: R* = %v, want 8", b.rTR[0][j])
+				}
+			}
+		})
+	}
+}
+
+// TestWarmStartMatchesColdRebuild is the differential proof behind the
+// warm-start gate: on random dual-criticality populations, the
+// committed responses the warm-started incremental commits leave must
+// be bitwise the responses a forced cold rebuild (Reanalyze) computes
+// from scratch. Any divergence would break the Backend contract's
+// bit-identity invariant between the delta path and the fallback path.
+func TestWarmStartMatchesColdRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	warmTrials := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(12)
+		ts := dualSet(rng, n, 0.3+rng.Float64()*0.5, 2)
+		b := &Backend{}
+		b.Reset(2, 2)
+		b.Prepare(ts)
+		if b.warmOK {
+			warmTrials++
+		}
+		b.Begin()
+		for ti := range ts.Tasks {
+			c := ti % 2
+			if !b.FeasibleWith(c, ti) {
+				if c = 1 - c; !b.FeasibleWith(c, ti) {
+					continue
+				}
+			}
+			b.Place(c, ti, false)
+		}
+		for c := 0; c < 2; c++ {
+			warmLO := append([]float64(nil), b.rLO[c]...)
+			warmHI := append([]float64(nil), b.rHI[c]...)
+			warmTR := append([]float64(nil), b.rTR[c]...)
+			warmRank := append([]int(nil), b.ranks[c]...)
+			warmLoad := b.loads[c]
+			b.Reanalyze(c)
+			for j, ti := range b.cores[c] {
+				if b.ranks[c][j] != warmRank[j] {
+					t.Fatalf("trial %d core %d task %d: warm rank %d, cold %d",
+						trial, c, ti, warmRank[j], b.ranks[c][j])
+				}
+				if b.rLO[c][j] != warmLO[j] {
+					t.Fatalf("trial %d core %d task %d: warm R_LO %v, cold %v",
+						trial, c, ti, warmLO[j], b.rLO[c][j])
+				}
+				if ts.Tasks[ti].Crit >= 2 && (b.rHI[c][j] != warmHI[j] || b.rTR[c][j] != warmTR[j]) {
+					t.Fatalf("trial %d core %d task %d: warm (R_HI,R*) (%v,%v), cold (%v,%v)",
+						trial, c, ti, warmHI[j], warmTR[j], b.rHI[c][j], b.rTR[c][j])
+				}
+			}
+			if b.loads[c] != warmLoad {
+				t.Fatalf("trial %d core %d: warm load %v, cold %v", trial, c, warmLoad, b.loads[c])
+			}
+		}
+	}
+	// The proof is only evidence if the warm path actually ran.
+	if warmTrials == 0 {
+		t.Fatal("no trial passed the warm-start gate; the comparison is vacuous")
+	}
+}
+
+// TestWarmStartGateRejectsTinyBudgets pins the fallback trigger of the
+// warm-start gate itself: a set whose smallest level-1 budget sits
+// inside the epsilon band must run with warmOK unset (cold seeds), as
+// must one whose period/budget ratio cannot bound the cold iteration
+// count under the cap.
+func TestWarmStartGateRejectsTinyBudgets(t *testing.T) {
+	b := &Backend{}
+	b.Reset(1, 2)
+
+	tiny := &mc.TaskSet{Tasks: []mc.Task{
+		{ID: 1, Period: 10, Crit: 1, WCET: []float64{Eps}},
+	}}
+	b.Prepare(tiny)
+	if b.warmOK {
+		t.Error("warmOK with a budget inside the epsilon band")
+	}
+
+	extreme := &mc.TaskSet{Tasks: []mc.Task{
+		{ID: 1, Period: 1e6, Crit: 1, WCET: []float64{0.05}},
+	}}
+	b.Prepare(extreme)
+	if b.warmOK {
+		t.Error("warmOK with period/budget beyond the iteration cap")
+	}
+
+	b.Prepare(handSet())
+	if !b.warmOK {
+		t.Error("warm-start gate rejects a comfortably bounded set")
+	}
+}

@@ -70,3 +70,22 @@ func MustTaskSlab(id int, name string, period float64, wcet []float64) Task {
 	}
 	return t
 }
+
+// TaskSlabTrusted is NewTaskSlab without the per-task Validate pass,
+// for generators whose outputs are valid by construction (positive
+// period, positive non-decreasing WCETs capped at the period). The
+// validation loop is measurable in generation-bound sweeps — it reads
+// every WCET and divides once per task — and proves nothing for a
+// generator that enforces the invariants structurally. Callers outside
+// such generators must use NewTaskSlab or MustTaskSlab; an invalid
+// task built here fails later analysis in undefined ways.
+//
+//mc:allocfree a struct literal over the caller's slab
+func TaskSlabTrusted(id int, period float64, wcet []float64) Task {
+	return Task{
+		ID:     id,
+		Period: period,
+		Crit:   len(wcet),
+		WCET:   wcet,
+	}
+}

@@ -75,7 +75,18 @@ func MaxContributionsInto(ts *TaskSet, key []float64) []float64 {
 		totals = make([]float64, k+1)
 	}
 	for j := 1; j <= k; j++ {
-		totals[j] = ts.TotalUtilAt(j)
+		totals[j] = 0
+	}
+	// One task-major pass over the set instead of K TotalUtilAt scans.
+	// For each level j the additions still run in task-index order, so
+	// every totals[j] is bitwise TotalUtilAt(j). Levels at most Crit
+	// never saturate, so WCET[lev-1]/Period is exactly Util(lev).
+	for i := range ts.Tasks {
+		t := &ts.Tasks[i]
+		p := t.Period
+		for lev := 1; lev <= t.Crit; lev++ {
+			totals[lev] += t.WCET[lev-1] / p
+		}
 	}
 	key = resizeFloats(key, len(ts.Tasks))
 	for i := range ts.Tasks {
@@ -84,7 +95,7 @@ func MaxContributionsInto(ts *TaskSet, key []float64) []float64 {
 		for lev := 1; lev <= t.Crit; lev++ {
 			v := 0.0
 			if totals[lev] > 0 {
-				v = t.Util(lev) / totals[lev]
+				v = t.WCET[lev-1] / t.Period / totals[lev]
 			}
 			if v > maxC {
 				maxC = v
@@ -103,7 +114,10 @@ func MaxContributionsInto(ts *TaskSet, key []float64) []float64 {
 func MaxUtilsInto(ts *TaskSet, key []float64) []float64 {
 	key = resizeFloats(key, len(ts.Tasks))
 	for i := range ts.Tasks {
-		key[i] = ts.Tasks[i].MaxUtil()
+		// WCET[Crit-1]/Period is exactly MaxUtil() without the C()
+		// saturation branch.
+		t := &ts.Tasks[i]
+		key[i] = t.WCET[t.Crit-1] / t.Period
 	}
 	return key
 }
@@ -111,9 +125,13 @@ func MaxUtilsInto(ts *TaskSet, key []float64) []float64 {
 // sortIndexByKey fills idx with 0..N-1 sorted by decreasing key, ties
 // broken by higher criticality and then smaller ID — the shared tie
 // rules of every ordering in the paper. idx is reused when its
-// capacity suffices.
+// capacity suffices. key (len(ts.Tasks) entries, key[i] the key of
+// task i) is permuted alongside idx, so on return key[r] is the key of
+// task idx[r]: keeping the arrays parallel makes the hot comparison a
+// single position-aligned load per side instead of an indirection
+// through idx.
 //
-//mc:allocfree the comparator closure is passed only to module-internal sortIdx
+//mc:allocfree sorts caller scratch in place
 func sortIndexByKey(ts *TaskSet, idx []int, key []float64) []int {
 	n := len(ts.Tasks)
 	if cap(idx) < n {
@@ -123,16 +141,33 @@ func sortIndexByKey(ts *TaskSet, idx []int, key []float64) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sortIdx(idx, func(i, j int) bool {
-		return Precedes(&ts.Tasks[i], key[i], &ts.Tasks[j], key[j])
-	})
+	quicksortTaskIdx(idx, key, ts)
 	return idx
 }
 
+// ordLess compares two order elements — explicit (task index, key)
+// pairs of the parallel arrays — bitwise the Precedes relation: the
+// common case (keys apart by more than Eps) never touches the task
+// structs; ties fall through to the criticality and ID rules.
+//
+//mc:allocfree three comparisons
+func ordLess(ts *TaskSet, ai int, ak float64, bi int, bk float64) bool {
+	if diff := ak - bk; diff > Eps || diff < -Eps {
+		return diff > 0
+	}
+	a, b := &ts.Tasks[ai], &ts.Tasks[bi]
+	if a.Crit != b.Crit {
+		return a.Crit > b.Crit
+	}
+	return a.ID < b.ID
+}
+
 // SortByContributionInto is SortByContribution with caller-provided
-// scratch: idx receives the order, key the per-task max contributions.
-// Both are reused when their capacity suffices, making the call
-// allocation-free at steady state. It returns the order slice.
+// scratch: idx receives the order; key carries the max contributions
+// through the sort and comes back permuted into that order (key[r] is
+// the contribution of task idx[r]). Both are reused when their
+// capacity suffices, making the call allocation-free at steady state.
+// It returns the order slice.
 //
 //mc:allocfree the per-point ordering step of every sweep
 func SortByContributionInto(ts *TaskSet, idx []int, key []float64) ([]int, []float64) {
@@ -178,62 +213,67 @@ func resizeFloats(s []float64, n int) []float64 {
 	return s[:n]
 }
 
-// sortIdx sorts idx with the provided less relation over element
-// values. A tiny wrapper so the call sites read naturally.
-//
-//mc:allocfree wraps the closure-free quicksort
-func sortIdx(idx []int, less func(i, j int) bool) {
-	// sort.Slice on the index slice, translating positions to values.
-	quicksortIdx(idx, less)
-}
-
-// quicksortIdx is a simple deterministic in-place sort (median-of-three
-// quicksort with insertion sort for small runs). It exists to keep the
-// hot partitioning path free of interface conversions; the relation
-// must be a strict weak order.
+// quicksortTaskIdx is a simple deterministic in-place sort (median-of-
+// three quicksort with insertion sort for small runs) specialized to
+// the ordLess relation, moving idx and key together. It exists to keep
+// the hot partitioning path free of interface conversions and closure
+// calls; the relation is a strict total order (IDs are unique), so the
+// result is the same for any comparison order.
 //
 //mc:allocfree in-place; recursion bounded by the smaller-half rule
-func quicksortIdx(idx []int, less func(a, b int) bool) {
+func quicksortTaskIdx(idx []int, key []float64, ts *TaskSet) {
 	for len(idx) > 12 {
 		// Median of three on values at the ends and middle.
 		m := len(idx) / 2
-		if less(idx[m], idx[0]) {
+		last := len(idx) - 1
+		if ordLess(ts, idx[m], key[m], idx[0], key[0]) {
 			idx[m], idx[0] = idx[0], idx[m]
+			key[m], key[0] = key[0], key[m]
 		}
-		if less(idx[len(idx)-1], idx[0]) {
-			idx[len(idx)-1], idx[0] = idx[0], idx[len(idx)-1]
+		if ordLess(ts, idx[last], key[last], idx[0], key[0]) {
+			idx[last], idx[0] = idx[0], idx[last]
+			key[last], key[0] = key[0], key[last]
 		}
-		if less(idx[len(idx)-1], idx[m]) {
-			idx[len(idx)-1], idx[m] = idx[m], idx[len(idx)-1]
+		if ordLess(ts, idx[last], key[last], idx[m], key[m]) {
+			idx[last], idx[m] = idx[m], idx[last]
+			key[last], key[m] = key[m], key[last]
 		}
-		pivot := idx[m]
-		i, j := 0, len(idx)-1
+		pi, pk := idx[m], key[m]
+		i, j := 0, last
 		for i <= j {
-			for less(idx[i], pivot) {
+			for ordLess(ts, idx[i], key[i], pi, pk) {
 				i++
 			}
-			for less(pivot, idx[j]) {
+			for ordLess(ts, pi, pk, idx[j], key[j]) {
 				j--
 			}
 			if i <= j {
 				idx[i], idx[j] = idx[j], idx[i]
+				key[i], key[j] = key[j], key[i]
 				i++
 				j--
 			}
 		}
 		// Recurse into the smaller half, loop on the larger.
 		if j+1 < len(idx)-i {
-			quicksortIdx(idx[:j+1], less)
-			idx = idx[i:]
+			quicksortTaskIdx(idx[:j+1], key[:j+1], ts)
+			idx, key = idx[i:], key[i:]
 		} else {
-			quicksortIdx(idx[i:], less)
-			idx = idx[:j+1]
+			quicksortTaskIdx(idx[i:], key[i:], ts)
+			idx, key = idx[:j+1], key[:j+1]
 		}
 	}
-	// Insertion sort for the remainder.
+	// Insertion sort for the remainder: hold the moving element and
+	// shift, instead of swapping pairwise.
 	for i := 1; i < len(idx); i++ {
-		for j := i; j > 0 && less(idx[j], idx[j-1]); j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
+		e, ek := idx[i], key[i]
+		j := i
+		for j > 0 && ordLess(ts, e, ek, idx[j-1], key[j-1]) {
+			idx[j] = idx[j-1]
+			key[j] = key[j-1]
+			j--
 		}
+		idx[j] = e
+		key[j] = ek
 	}
 }

@@ -47,3 +47,47 @@ func TestHotPathAllocFree(t *testing.T) {
 		})
 	}
 }
+
+// TestSessionAllocFree extends the alloc-free proof to the incremental
+// delta methods: a full online cycle — StartIncremental, admitting the
+// whole set, releasing half, re-admitting, summarizing — must perform
+// zero heap allocations per cycle at steady state, under both backends
+// and every scheme. This is the runtime twin of the //mc:allocfree
+// annotations on Admit, Release and the backends' Place/Remove/rebuild
+// delta paths.
+func TestSessionAllocFree(t *testing.T) {
+	for _, name := range []string{partition.DefaultBackend, "amcrtb"} {
+		t.Run(name, func(t *testing.T) {
+			cfg := popConfig(4, 2)
+			ts := taskgen.GenerateIndexed(&cfg, 17, 0)
+			be, err := partition.NewBackend(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := partition.NewWithBackend(4, 2, be)
+			for _, scheme := range partition.Schemes {
+				cycle := func() {
+					p.StartIncremental(ts, scheme, nil)
+					for ti := 0; ti < ts.Len(); ti++ {
+						p.Admit(ti)
+					}
+					for ti := 0; ti < ts.Len(); ti += 2 {
+						if p.Assigned(ti) >= 0 {
+							p.Release(ti)
+						}
+					}
+					for ti := 0; ti < ts.Len(); ti += 2 {
+						if p.Assigned(ti) < 0 {
+							p.Admit(ti)
+						}
+					}
+					p.Summarize()
+				}
+				cycle() // warm up the amortized storage
+				if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+					t.Errorf("%s/%v: session cycle allocates %.1f times per run, want 0", name, scheme, allocs)
+				}
+			}
+		})
+	}
+}

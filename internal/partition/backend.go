@@ -29,11 +29,28 @@ import (
 //
 // Call order per run: Reset (dimensions), Prepare (task set), Begin
 // (clear cores), then any interleaving of the virtual queries with
-// Place commits, then CoreUtil / ReportInto reads. KeepProbe marks the
-// analysis of the most recent ProbeUtil call as the winning
+// Place / Remove commits, then CoreUtil / ReportInto reads. KeepProbe
+// marks the analysis of the most recent ProbeUtil call as the winning
 // candidate's; a following Place with probed=true commits exactly that
 // cached analysis (the caller guarantees the (core, task) pair
 // matches).
+//
+// Incremental delta contract (DESIGN.md Section 14). Backends maintain
+// per-core analysis state under delta updates: Place folds one task
+// into cached per-core sums (or response times) in O(1) per
+// criticality level, independent of how many tasks the core already
+// holds, and every virtual query answers from those cached values plus
+// the candidate's row. Remove deletes a committed task again; when the
+// exact O(1) delta is unavailable (floating-point subtraction is not
+// an exact inverse of addition), the backend marks the core and falls
+// back to an exact recompute — replaying the surviving members'
+// deltas in placement order — before the next query. Reanalyze forces
+// that fallback unconditionally; it is the reference path the
+// differential gates (FuzzIncrementalAgreement, the delta unit tests)
+// compare the incremental path against. Bit-identity invariant: a
+// query on a core must return bitwise the same value whether the
+// core's state was built incrementally, restored by an exact undo, or
+// rebuilt through Reanalyze.
 type Backend interface {
 	// Name returns the backend's registry name (e.g. "edfvd").
 	Name() string
@@ -82,6 +99,20 @@ type Backend interface {
 	// KeepProbe analysis corresponds to exactly this (c, ti) pair and
 	// may be committed without re-analysis.
 	Place(c, ti int, probed bool)
+
+	// Remove deletes committed task ti from core c: the removal delta
+	// of the online admit/release protocol. Implementations undo the
+	// placement exactly — bitwise — either through an O(1) snapshot
+	// restore (the most recent Place) or by scheduling the
+	// exact-recompute fallback over the core's surviving members.
+	// Removing a task that is not committed on c panics.
+	Remove(c, ti int)
+
+	// Reanalyze discards core c's incremental analysis state and
+	// rebuilds it from the committed members — the exact-recompute
+	// fallback path, exposed so differential gates can force it and
+	// compare the incremental path against it.
+	Reanalyze(c int)
 
 	// OwnLoad returns core c's own-level load (the Eq. 4 measure the
 	// classical schemes compare cores by).

@@ -1,6 +1,7 @@
 package partition_test
 
 import (
+	"catpa/internal/mc"
 	"testing"
 
 	"catpa/internal/fpamc"
@@ -154,5 +155,95 @@ func TestSimOracleFPBoundaryCore(t *testing.T) {
 	}
 	if accepted == 0 {
 		t.Fatal("boundary oracle never accepted; parameters are vacuous")
+	}
+}
+
+// TestSimOracleIncrementalAcceptsAreSafe extends the differential
+// proof to the incremental admission path: placements committed
+// through an online session — admissions interleaved with releases and
+// re-admissions, so the O(1) add deltas AND the removal fallback both
+// shape the final subsets — must survive the adversarial worst-case
+// model with zero non-dropped misses, under both analysis backends.
+// The batch oracles above never run Remove; this one makes the delta
+// path itself carry the safety burden.
+func TestSimOracleIncrementalAcceptsAreSafe(t *testing.T) {
+	const (
+		seed = 20260809
+		sets = 60
+	)
+	for _, backend := range []string{partition.DefaultBackend, "amcrtb"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := taskgen.DefaultConfig()
+			cfg.M = 4
+			cfg.K = 2 // shared dimension: amcrtb is dual-criticality
+			cfg.N = taskgen.IntRange{Lo: 12, Hi: 40}
+			fp := backend == "amcrtb"
+
+			admitted, simulated := 0, 0
+			for _, nsu := range []float64{0.45, 0.6, 0.7} {
+				cfg.NSU = nsu
+				for idx := 0; idx < sets; idx++ {
+					ts := taskgen.GenerateIndexed(&cfg, seed, idx)
+					be, err := partition.NewBackend(backend)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := partition.NewWithBackend(cfg.M, cfg.K, be)
+					for _, scheme := range partition.Schemes {
+						p.StartIncremental(ts, scheme, nil)
+						// Churn: admit everything, release every fourth
+						// admitted task, then try the whole backlog again.
+						for ti := 0; ti < ts.Len(); ti++ {
+							p.Admit(ti)
+						}
+						for ti := 0; ti < ts.Len(); ti += 4 {
+							if p.Assigned(ti) >= 0 {
+								p.Release(ti)
+							}
+						}
+						for ti := 0; ti < ts.Len(); ti++ {
+							if p.Assigned(ti) < 0 {
+								p.Admit(ti)
+							}
+						}
+						// Materialize the committed per-core subsets.
+						subsets := make([]*mc.TaskSet, cfg.M)
+						for c := range subsets {
+							subsets[c] = &mc.TaskSet{}
+						}
+						n := 0
+						for ti := 0; ti < ts.Len(); ti++ {
+							if c := p.Assigned(ti); c >= 0 {
+								subsets[c].Tasks = append(subsets[c].Tasks, ts.Tasks[ti].Clone())
+								n++
+							}
+						}
+						if n == 0 {
+							continue
+						}
+						admitted += n
+						sc := sim.SystemConfig{Subsets: subsets, K: cfg.K}
+						if fp {
+							sc.FixedPriority = true
+							sc.PrioritiesFor = func(core int) []int {
+								return fpamc.Priorities(subsets[core].Tasks)
+							}
+						}
+						st := sim.SimulateSystem(sc)
+						simulated++
+						if st.Missed() != 0 {
+							t.Fatalf("session-admitted tasks missed deadlines under the worst-case model\n"+
+								"reproduce: taskgen.GenerateIndexed(cfg{M=%d,K=%d,NSU=%v,N=[%d,%d]}, seed=%d, idx=%d), scheme %v, backend %s\n%s",
+								cfg.M, cfg.K, nsu, cfg.N.Lo, cfg.N.Hi, seed, idx, scheme, backend, st.String())
+						}
+					}
+				}
+			}
+			if admitted == 0 {
+				t.Fatal("incremental oracle never admitted a task; the sweep parameters are vacuous")
+			}
+			t.Logf("incremental sim oracle (%s): %d admitted tasks over %d simulated systems, 0 misses",
+				backend, admitted, simulated)
+		})
 	}
 }

@@ -32,6 +32,14 @@ type allocator struct {
 	m, k int
 	be   Backend
 
+	// ebe is be when it is the default EDF-VD backend, else nil: the
+	// concrete-type shortcut behind the devirtualized pick loops, which
+	// resolve the candidate's row once per task and query the per-core
+	// states with direct (inlinable) calls. Every fast-path loop
+	// performs exactly the interface-typed loop's float comparisons, so
+	// the picks are identical.
+	ebe *edfvdBackend
+
 	// Per-run inputs.
 	ts     *mc.TaskSet
 	scheme Scheme
@@ -44,6 +52,11 @@ type allocator struct {
 	utils   []float64
 	ownLoad []float64
 	tasks   [][]int // per-core task indices in allocation order
+
+	// uMax/uMin cache max and min over utils, maintained by bumpUtil on
+	// every refresh so the per-task Eq. 16 imbalance read is O(1)
+	// instead of an O(m) rescan.
+	uMax, uMin float64
 
 	// Per-task state.
 	assign []int // task -> core
@@ -126,6 +139,7 @@ func (a *allocator) clearRun(scheme Scheme, opts *Options) {
 	for i := range a.assign {
 		a.assign[i] = -1
 	}
+	a.uMax, a.uMin = 0, 0
 }
 
 // run executes one partitioning pass (allocation only; the caller
@@ -145,7 +159,7 @@ func (a *allocator) runPrepared(scheme Scheme, opts *Options) {
 	a.clearRun(scheme, opts)
 	switch scheme {
 	case WFD, FFD, BFD:
-		a.runClassic(scheme)
+		a.runClassic()
 	case Hybrid:
 		a.runHybrid()
 	case CATPA:
@@ -167,12 +181,17 @@ func (a *allocator) place(ti, c int) {
 	prev := a.utils[c]
 	probed := a.probeOK
 	a.probeOK = false
-	a.be.Place(c, ti, probed)
-	a.ownLoad[c] = a.be.OwnLoad(c)
+	if eb := a.ebe; eb != nil {
+		a.ownLoad[c] = eb.placeLoad(c, ti, probed)
+	} else {
+		a.be.Place(c, ti, probed)
+		a.ownLoad[c] = a.be.OwnLoad(c)
+	}
 	a.tasks[c] = append(a.tasks[c], ti)
 	a.assign[ti] = c
 	if probed || a.opts.trace() {
 		a.utils[c] = a.be.CoreUtil(c, a.opts.eq9Literal())
+		a.bumpUtil(prev, a.utils[c])
 	}
 	if a.opts.trace() {
 		a.trace = append(a.trace, Step{Task: ti, Core: c, Util: a.utils[c], Increment: a.utils[c] - prev})
@@ -215,10 +234,10 @@ func (a *allocator) orderTasks(def OrderPolicy) []int {
 // own-level utilization, cores compared by their Eq. 4 own-level load.
 //
 //mc:allocfree the FFD/BFD/WFD loop
-func (a *allocator) runClassic(s Scheme) {
+func (a *allocator) runClassic() {
 	order := a.orderTasks(MaxUtilOrder)
 	for _, ti := range order {
-		c := a.pickClassic(s, ti)
+		c := a.pick(ti)
 		if c < 0 {
 			a.fail(ti)
 			return
@@ -228,28 +247,77 @@ func (a *allocator) runClassic(s Scheme) {
 }
 
 // pickClassic returns the target core for task ti under FFD/BFD/WFD,
-// or -1 when no core can accommodate it.
+// or -1 when no core can accommodate it. Each scheme gets its own
+// scan loop so the per-core iteration carries no scheme dispatch.
+//
+// For BFD/WFD the load-hysteresis test runs before the schedulability
+// probe: a core whose load would not displace the incumbent cannot
+// change the pick whatever its verdict, so deferring the (much more
+// expensive) feasibility call behind the load gate skips the analysis
+// on most cores while selecting exactly the core the probe-first scan
+// would.
 //
 //mc:allocfree scans cached loads
 func (a *allocator) pickClassic(s Scheme, ti int) int {
+	switch s {
+	case BFD:
+		return a.pickBFD(ti)
+	case WFD:
+		return a.pickWFD(ti)
+	default:
+		return a.pickFFD(ti)
+	}
+}
+
+// pickFFD returns the first feasible core for ti, or -1.
+//
+//mc:allocfree the FFD scan
+func (a *allocator) pickFFD(ti int) int {
+	if eb := a.ebe; eb != nil {
+		return eb.pickFFD(ti)
+	}
+	for c := 0; c < a.m; c++ {
+		if a.be.FeasibleWith(c, ti) {
+			return c
+		}
+	}
+	return -1
+}
+
+// pickBFD returns the fullest feasible core for ti — maximum current
+// own-level load (cached; refreshed by place via the same OwnLoad
+// sum) under the Eps hysteresis — or -1.
+//
+//mc:allocfree the BFD scan
+func (a *allocator) pickBFD(ti int) int {
+	if eb := a.ebe; eb != nil {
+		return eb.pickBFD(a.ownLoad, ti)
+	}
 	best := -1
 	var bestLoad float64
 	for c := 0; c < a.m; c++ {
-		if !a.be.FeasibleWith(c, ti) {
-			continue
-		}
-		switch s {
-		case FFD:
-			return c // first feasible core wins
-		case BFD:
-			// Fullest feasible core: maximize current own-level load
-			// (cached; refreshed by place via the same OwnLoad sum).
-			if load := a.ownLoad[c]; best < 0 || load > bestLoad+mc.Eps {
+		if load := a.ownLoad[c]; best < 0 || load > bestLoad+mc.Eps {
+			if a.be.FeasibleWith(c, ti) {
 				best, bestLoad = c, load
 			}
-		case WFD:
-			// Emptiest feasible core: minimize current own-level load.
-			if load := a.ownLoad[c]; best < 0 || load < bestLoad-mc.Eps {
+		}
+	}
+	return best
+}
+
+// pickWFD returns the emptiest feasible core for ti — minimum current
+// own-level load under the Eps hysteresis — or -1.
+//
+//mc:allocfree the WFD scan
+func (a *allocator) pickWFD(ti int) int {
+	if eb := a.ebe; eb != nil {
+		return eb.pickWFD(a.ownLoad, ti)
+	}
+	best := -1
+	var bestLoad float64
+	for c := 0; c < a.m; c++ {
+		if load := a.ownLoad[c]; best < 0 || load < bestLoad-mc.Eps {
+			if a.be.FeasibleWith(c, ti) {
 				best, bestLoad = c, load
 			}
 		}
@@ -268,7 +336,7 @@ func (a *allocator) runHybrid() {
 		if a.ts.Tasks[ti].Crit < 2 {
 			continue
 		}
-		c := a.pickClassic(WFD, ti)
+		c := a.pick(ti)
 		if c < 0 {
 			a.fail(ti)
 			return
@@ -279,7 +347,7 @@ func (a *allocator) runHybrid() {
 		if a.ts.Tasks[ti].Crit >= 2 {
 			continue
 		}
-		c := a.pickClassic(FFD, ti)
+		c := a.pick(ti)
 		if c < 0 {
 			a.fail(ti)
 			return
@@ -294,19 +362,8 @@ func (a *allocator) runHybrid() {
 //mc:allocfree Algorithm 1 inner loop
 func (a *allocator) runCATPA() {
 	order := a.orderTasks(ContributionOrder)
-	alpha := a.opts.alpha()
 	for _, ti := range order {
-		var c int
-		switch {
-		case a.imbalance() > alpha:
-			// Imbalance fallback: least-loaded feasible core, ignoring
-			// utilization increments.
-			c = a.pickLeastLoaded(ti)
-		case a.opts.noProbe():
-			c = a.pickFirstFeasible(ti)
-		default:
-			c = a.pickMinIncrement(ti)
-		}
+		c := a.pick(ti)
 		if c < 0 {
 			a.fail(ti)
 			return
@@ -316,12 +373,42 @@ func (a *allocator) runCATPA() {
 }
 
 // imbalance computes the current workload imbalance factor Lambda
-// (Eq. 16) over the cores' cached utilizations.
+// (Eq. 16) from the cached utilization extrema — the same values a
+// rescan of utils would produce, by the bumpUtil invariant.
+//
+//mc:allocfree reads two cached scalars
+func (a *allocator) imbalance() float64 {
+	if a.uMax <= mc.Eps {
+		return 0
+	}
+	return (a.uMax - a.uMin) / a.uMax
+}
+
+// bumpUtil restores the uMax/uMin invariant after utils[c] changed
+// from prev to cur: O(1) unless the update displaced the extremum it
+// held, then one O(m) rescan.
+//
+//mc:allocfree scalar compares, rarely an O(m) rescan
+func (a *allocator) bumpUtil(prev, cur float64) {
+	//lint:ignore mclint/floateq deliberately exact: prev held the cached extremum iff it equals it bit for bit
+	if (prev == a.uMax && cur < prev) || (prev == a.uMin && cur > prev) {
+		a.rescanUtils()
+		return
+	}
+	if cur > a.uMax {
+		a.uMax = cur
+	}
+	if cur < a.uMin {
+		a.uMin = cur
+	}
+}
+
+// rescanUtils recomputes the cached utilization extrema from utils.
 //
 //mc:allocfree scans cached utilizations
-func (a *allocator) imbalance() float64 {
-	maxU, minU := math.Inf(-1), math.Inf(1)
-	for _, u := range a.utils {
+func (a *allocator) rescanUtils() {
+	maxU, minU := a.utils[0], a.utils[0]
+	for _, u := range a.utils[1:] {
 		if u > maxU {
 			maxU = u
 		}
@@ -329,10 +416,7 @@ func (a *allocator) imbalance() float64 {
 			minU = u
 		}
 	}
-	if maxU <= mc.Eps {
-		return 0
-	}
-	return (maxU - minU) / maxU
+	a.uMax, a.uMin = maxU, minU
 }
 
 // keepProbe marks the backend's most recent probe analysis as the
@@ -359,6 +443,13 @@ func (a *allocator) utilWith(c, ti int) float64 {
 //
 //mc:allocfree the probe loop of Algorithm 1
 func (a *allocator) pickMinIncrement(ti int) int {
+	if eb := a.ebe; eb != nil {
+		// The winning probe's analysis is already in keepEval; flag it
+		// for place exactly as the per-improvement keepProbe would have.
+		c := eb.pickMinIncrement(a.utils, ti, a.opts.eq9Literal())
+		a.probeOK = c >= 0
+		return c
+	}
 	best := -1
 	bestInc := math.Inf(1)
 	for c := 0; c < a.m; c++ {

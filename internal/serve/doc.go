@@ -3,7 +3,12 @@
 // partitioning question — "can this task set be admitted, and onto
 // which cores?" — under concurrent load, on pooled reusable
 // partition.Partitioners (one per worker per analysis backend, so the
-// steady-state partitioning hot path keeps its 0 allocs/op).
+// steady-state partitioning hot path keeps its 0 allocs/op). The
+// pooled Partitioners also carry the online session protocol
+// (StartIncremental / Admit / Release), and the two modes interleave
+// freely on one instance: every batch entry point re-prepares and
+// clears any session state, a property the pooled-reuse regression
+// (partition.TestPooledSessionThenBatch) pins bitwise.
 //
 // Robustness is layered, in request order:
 //

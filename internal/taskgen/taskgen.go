@@ -145,8 +145,75 @@ func Generate(cfg *Config, rng *rand.Rand) *mc.TaskSet {
 // deterministic stream, so replication can be parallelized while
 // remaining reproducible.
 func GenerateIndexed(cfg *Config, baseSeed int64, idx int) *mc.TaskSet {
-	rng := rand.New(rand.NewSource(mix(baseSeed, int64(idx))))
+	rng := rand.New(newSplitmix(mix(baseSeed, int64(idx))))
 	return Generate(cfg, rng)
+}
+
+// splitmix is the SplitMix64 random source behind GenerateIndexed and
+// Generator (rand.Source64). Seeding is one word where the stdlib
+// source refills a 607-word table per Seed — a cost that dominated
+// per-set generation in the sweep hot loop, since every set of a
+// replicated experiment reseeds for its independent stream.
+// Generation stays fully deterministic: a (cfg, seed, index) triple
+// identifies one task set, bit for bit, across serial, parallel and
+// resumed sweeps.
+type splitmix struct{ s uint64 }
+
+func newSplitmix(seed int64) *splitmix { return &splitmix{s: uint64(seed)} }
+
+// Seed implements rand.Source.
+//
+//mc:allocfree one store
+func (s *splitmix) Seed(seed int64) { s.s = uint64(seed) }
+
+// Uint64 implements rand.Source64 (the SplitMix64 finalizer).
+//
+//mc:allocfree mixing arithmetic
+func (s *splitmix) Uint64() uint64 {
+	s.s += 0x9E3779B97F4A7C15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+//
+//mc:allocfree mixing arithmetic
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// float64 draws exactly the value rand.Rand.Float64 would draw from
+// this source — float64(Int63())/2^63, resampling the (measure-zero)
+// 1.0 — without the per-draw interface dispatch through rand.Rand.
+// The generator's hot path draws several floats per task, and the
+// dispatch was a visible slice of sweep generation time.
+//
+//mc:allocfree pure arithmetic
+func (s *splitmix) float64() float64 {
+	for {
+		f := float64(s.Int63()) / (1 << 63)
+		//lint:ignore mclint/floateq deliberately exact: replicates rand.Rand.Float64's resample-on-1.0 guard bit for bit
+		if f != 1 {
+			return f
+		}
+	}
+}
+
+// intn draws exactly the value rand.Rand.Intn would draw from this
+// source for 0 < n < 2^31: the power-of-two mask or the rejection
+// loop of Int31n, bit for bit.
+//
+//mc:allocfree pure arithmetic
+func (s *splitmix) intn(n int) int {
+	if n&(n-1) == 0 { // power of two: mask
+		return int(int32(s.Int63()>>32) & int32(n-1))
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := int32(s.Int63() >> 32)
+	for v > max {
+		v = int32(s.Int63() >> 32)
+	}
+	return int(v % int32(n))
 }
 
 // genTask draws one task, backing its WCET vector with w (which must
@@ -184,7 +251,15 @@ func genTask(cfg *Config, rng *rand.Rand, id int, uBase float64, w []float64) mc
 			w[k] = p
 		}
 	}
-	return mc.MustTaskSlab(id, "", p, w)
+	if cfg.CritOf != nil {
+		// Pinned criticalities come from an arbitrary test hook; keep
+		// the validated constructor on that path.
+		return mc.MustTaskSlab(id, "", p, w)
+	}
+	// The draws above enforce every Task invariant structurally:
+	// positive period, positive geometrically non-decreasing WCETs,
+	// own-level utilization capped at 1 by the period clamp.
+	return mc.TaskSlabTrusted(id, p, w)
 }
 
 // Generator amortizes workload generation: it owns a reusable seeded
@@ -199,7 +274,7 @@ func genTask(cfg *Config, rng *rand.Rand, id int, uBase float64, w []float64) mc
 // generator's internal storage: they are valid only until the next
 // Generate call. A Generator must not be shared between goroutines.
 type Generator struct {
-	src   rand.Source
+	src   *splitmix
 	rng   *rand.Rand
 	arena []float64
 	ts    mc.TaskSet
@@ -208,7 +283,7 @@ type Generator struct {
 // NewGenerator returns an empty generator; the seed is installed per
 // Generate call.
 func NewGenerator() *Generator {
-	src := rand.NewSource(1)
+	src := newSplitmix(1)
 	return &Generator{src: src, rng: rand.New(src)}
 }
 
@@ -216,26 +291,85 @@ func NewGenerator() *Generator {
 // rooted at baseSeed, identical to GenerateIndexed(cfg, baseSeed, idx)
 // but reusing all internal storage. See the type comment for the
 // aliasing contract.
+//
+// Draws go through the source's direct float64/intn replicas of the
+// rand.Rand algorithms — the same values in the same order, without
+// per-draw dispatch — except under a CritOf hook, whose callback
+// receives a *rand.Rand and therefore keeps the generic path.
 func (g *Generator) Generate(cfg *Config, baseSeed int64, idx int) *mc.TaskSet {
 	if err := cfg.Validate(); err != nil {
 		//lint:ignore mclint/panicmsg Validate errors already carry the "taskgen: " prefix
 		panic(err)
 	}
 	g.src.Seed(mix(baseSeed, int64(idx)))
-	n := cfg.N.sample(g.rng)
+	if cfg.CritOf != nil {
+		n := cfg.N.sample(g.rng)
+		uBase := cfg.NSU * float64(cfg.M) / float64(n)
+		g.sizeFor(n, cfg.K)
+		for i := 0; i < n; i++ {
+			w := g.arena[i*cfg.K : i*cfg.K+cfg.K]
+			g.ts.Tasks = append(g.ts.Tasks, genTask(cfg, g.rng, i+1, uBase, w))
+		}
+		return &g.ts
+	}
+	src := g.src
+	n := cfg.N.Lo
+	if cfg.N.Hi > cfg.N.Lo {
+		n += src.intn(cfg.N.Hi - cfg.N.Lo + 1)
+	}
 	uBase := cfg.NSU * float64(cfg.M) / float64(n)
-	if need := n * cfg.K; cap(g.arena) < need {
+	g.sizeFor(n, cfg.K)
+	for i := 0; i < n; i++ {
+		w := g.arena[i*cfg.K : i*cfg.K+cfg.K]
+		g.ts.Tasks = append(g.ts.Tasks, genTaskDirect(cfg, src, i+1, uBase, w))
+	}
+	return &g.ts
+}
+
+// sizeFor readies the arena and task buffer for n tasks of up to k
+// levels.
+//
+//mc:allocfree amortized: reallocates only on growth
+func (g *Generator) sizeFor(n, k int) {
+	if need := n * k; cap(g.arena) < need {
 		g.arena = make([]float64, need)
 	}
 	if cap(g.ts.Tasks) < n {
 		g.ts.Tasks = make([]mc.Task, 0, n)
 	}
 	g.ts.Tasks = g.ts.Tasks[:0]
-	for i := 0; i < n; i++ {
-		w := g.arena[i*cfg.K : i*cfg.K+cfg.K]
-		g.ts.Tasks = append(g.ts.Tasks, genTask(cfg, g.rng, i+1, uBase, w))
+}
+
+// genTaskDirect is genTask drawing straight from the splitmix source:
+// the draw sequence — period-range pick, period, c(1) factor,
+// criticality, IFC — replicates genTask's rand.Rand calls value for
+// value, so Generator output stays bitwise GenerateIndexed's.
+//
+//mc:allocfree slab-backed task construction
+func genTaskDirect(cfg *Config, src *splitmix, id int, uBase float64, w []float64) mc.Task {
+	pr := cfg.Periods[src.intn(len(cfg.Periods))]
+	p := pr.Lo + src.float64()*(pr.Hi-pr.Lo)
+	c1 := (0.2 + src.float64()*1.6) * p * uBase
+	crit := 1 + src.intn(cfg.K)
+	ifc := cfg.IFC.Lo + src.float64()*(cfg.IFC.Hi-cfg.IFC.Lo)
+	w = w[:crit]
+	c := c1
+	for k := 0; k < crit; k++ {
+		w[k] = c
+		c *= 1 + ifc
 	}
-	return &g.ts
+	for k := 1; k < crit; k++ {
+		if w[k] > p {
+			w[k] = p
+		}
+	}
+	if w[0] > p {
+		w[0] = p
+		for k := 1; k < crit; k++ {
+			w[k] = p
+		}
+	}
+	return mc.TaskSlabTrusted(id, p, w)
 }
 
 // mix combines a base seed and an index into a well-spread 63-bit

@@ -64,13 +64,21 @@ go test -race -count=1 -run 'Chaos|GracefulDrain|QueueFullSheds|DegradedMode' \
 # when the analyzer itself regresses.
 step "mclint suite + alloc-free proof"
 go test -count=1 ./internal/lint
-go test -count=1 -run 'HotPathAllocFree|BackendSchedulable' ./internal/partition ./internal/fpamc
+go test -count=1 -run 'HotPathAllocFree|BackendSchedulable|SessionAllocFree' ./internal/partition ./internal/fpamc
+
+# The incremental-vs-batch differential wall by name: the deterministic
+# agreement sweep (delta commits vs Reanalyze-forced recompute, both
+# backends, all schemes, batch and churn), the session-replays-batch
+# proof, and the hand-computed delta fixtures.
+step "incremental differential wall"
+go test -count=1 -run 'IncrementalAgreement|SessionMatchesBatch|Delta|WarmStart' \
+    ./internal/partition ./internal/edfvd ./internal/fpamc
 
 # Coverage ratchet: the line coverage of the internal packages must not
 # drop below the floor recorded when the gate was introduced. Raise the
 # floor when coverage durably improves; never lower it.
 step "coverage ratchet (internal/...)"
-COVER_FLOOR=92.3
+COVER_FLOOR=92.5
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 go test -count=1 -coverprofile="$profile" ./internal/... >/dev/null
@@ -88,11 +96,13 @@ if [[ "$FUZZTIME" != "0s" && "$FUZZTIME" != "0" ]]; then
     go test ./internal/edfvd -run='^$' -fuzz='^FuzzProbedScreens$' -fuzztime="$FUZZTIME"
     go test ./internal/taskgen -run='^$' -fuzz='^FuzzGenerate$' -fuzztime="$FUZZTIME"
     go test ./internal/fpamc -run='^$' -fuzz='^FuzzBackendAgreement$' -fuzztime="$FUZZTIME"
+    go test ./internal/partition -run='^$' -fuzz='^FuzzIncrementalAgreement$' -fuzztime="$FUZZTIME"
 fi
 
-# Non-gating: performance tracking for the partitioning fast path.
-# Regressions show up in BENCH_PR5.json but do not fail the gate.
+# Non-gating: performance tracking for the partitioning fast path and
+# the incremental online events. Regressions show up in BENCH_PR9.json
+# but do not fail the gate.
 step "bench (non-gating)"
-scripts/bench.sh BENCH_PR5.json || echo "bench: failed (non-gating)" >&2
+scripts/bench.sh BENCH_PR9.json || echo "bench: failed (non-gating)" >&2
 
 step "OK"
