@@ -417,3 +417,30 @@ func BenchmarkOnlineEvent(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkOnlineScenario times the end-to-end online pipeline — CDF
+// stream generation, the merged arrival/departure replay through
+// incremental sessions for every variant, and the time-bucketed
+// aggregation — and reports admission-verdict throughput. The steady
+// state must stay allocation-free per replication (the per-iteration
+// allocations are the sweep scaffolding, amortized across all sets).
+func BenchmarkOnlineScenario(b *testing.B) {
+	b.ReportAllocs()
+	var arrivals int64
+	var admitted int64
+	for i := 0; i < b.N; i++ {
+		sw := catpa.OnlineFigure(10, 2016)
+		sw.Workers = 1
+		res := sw.Run()
+		arrivals, admitted = 0, 0
+		for pi := range res.Points {
+			for vi := range res.Points[pi].Cells {
+				o := res.Points[pi].Cells[vi].Online
+				arrivals += o.Admitted.N()
+				admitted += o.Admitted.Hits()
+			}
+		}
+	}
+	b.ReportMetric(float64(arrivals)*float64(b.N)/b.Elapsed().Seconds(), "arrivals/s")
+	b.ReportMetric(float64(admitted)/float64(arrivals), "admit_rate")
+}

@@ -323,5 +323,11 @@ const (
 // or the backend-comparison extension (6).
 func Figure(n, sets int, seed int64) *Sweep { return experiments.Figure(n, sets, seed) }
 
+// OnlineFigure returns the online companion experiment: the same
+// schemes admitting a Poisson arrival stream through incremental
+// partitioner sessions, measured on admission rate, shed rate,
+// occupancy and core utilization over time.
+func OnlineFigure(sets int, seed int64) *Sweep { return experiments.OnlineFigure(sets, seed) }
+
 // DefaultExpParams returns the paper's default parameter point.
 func DefaultExpParams() ExpParams { return experiments.DefaultParams() }

@@ -46,6 +46,30 @@ func TestGoldenFigure6(t *testing.T) {
 	goldenFigure(t, "fig6", "6", "120")
 }
 
+// TestGoldenOnline locks the online pipeline the same way: the CDF/
+// arrival stream generation, the incremental Admit/Release replay, the
+// time-bucketed aggregation and the online chart rendering must
+// reproduce the checked-in admission-rate and utilization-over-time
+// curves byte for byte at a fixed seed and worker count.
+func TestGoldenOnline(t *testing.T) {
+	outDir := t.TempDir()
+	metricsPath := filepath.Join(outDir, "metrics.json")
+	args := []string{
+		"-online", "-sets", "60", "-seed", "2016", "-workers", "2",
+		"-csv", "-out", outDir, "-metrics", metricsPath,
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr, nil); code != exitOK {
+		t.Fatalf("run exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	goldenOutputs(t, "onl1", outDir, metricsPath, []string{
+		"a-admission-rate.csv",
+		"b-shed-rate.csv",
+		"c-occupancy.csv",
+		"d-util-over-time.csv",
+	})
+}
+
 func goldenFigure(t *testing.T, name, figure, sets string) {
 	t.Helper()
 	outDir := t.TempDir()
@@ -54,13 +78,19 @@ func goldenFigure(t *testing.T, name, figure, sets string) {
 	if code := run(goldenArgs(figure, sets, outDir, metricsPath), &stdout, &stderr, nil); code != exitOK {
 		t.Fatalf("run exited %d\nstderr:\n%s", code, stderr.String())
 	}
-
-	for _, suffix := range []string{
+	goldenOutputs(t, name, outDir, metricsPath, []string{
 		"a-sched-ratio.csv",
 		"b-usys.csv",
 		"c-uavg.csv",
 		"d-imbalance.csv",
-	} {
+	})
+}
+
+// goldenOutputs byte-compares the figure's CSVs and timing-redacted
+// metrics snapshot against testdata/.
+func goldenOutputs(t *testing.T, name, outDir, metricsPath string, suffixes []string) {
+	t.Helper()
+	for _, suffix := range suffixes {
 		csv := name + "-" + suffix
 		got, err := os.ReadFile(filepath.Join(outDir, csv))
 		if err != nil {

@@ -14,6 +14,7 @@
 //	mcexp -figure 6                         # EDF-VD vs AMC-rtb backends
 //	mcexp -figure 1 -variants CA-TPA,FFD@amcrtb
 //	                                        # custom (scheme, backend) cells
+//	mcexp -online -sets 200 -csv            # online arrival-driven workload
 //
 // The default population matches the paper's 50,000 task sets per
 // point; -sets trades accuracy for time (the ratios carry 95%
@@ -80,6 +81,7 @@ func main() {
 // config is the validated result of flag parsing.
 type config struct {
 	figures    []int
+	online     bool
 	variants   []experiments.Variant
 	sets       int
 	seed       int64
@@ -116,6 +118,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	fs.SetOutput(stderr)
 	var (
 		figure     = fs.String("figure", "all", "figure number 1..6 or 'all'")
+		online     = fs.Bool("online", false, "run the online arrival-driven experiment instead of the static figures")
 		variants   = fs.String("variants", "", "comma-separated scheme[@backend] cells overriding the figure's own (e.g. CA-TPA,FFD@amcrtb)")
 		sets       = fs.Int("sets", 50000, "task sets per data point")
 		seed       = fs.Int64("seed", 2016, "base seed")
@@ -146,9 +149,23 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		metrics:    *metrics,
 		pprofAddr:  *pprofAddr,
 	}
-	if *figure == "all" {
+	cfg.online = *online
+	switch {
+	case cfg.online:
+		// The online experiment is its own sweep; selecting a static
+		// figure alongside it would be ambiguous about what to run.
+		figureSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "figure" {
+				figureSet = true
+			}
+		})
+		if figureSet {
+			return nil, &usageError{"-figure", strconv.Quote(*figure), "-online runs its own experiment; drop -figure"}
+		}
+	case *figure == "all":
 		cfg.figures = experiments.Figures
-	} else {
+	default:
 		n, err := strconv.Atoi(*figure)
 		if err != nil || n < 1 || n > 6 {
 			return nil, &usageError{"-figure", strconv.Quote(*figure), "want a figure number 1..6 or 'all'"}
@@ -250,19 +267,42 @@ func run(args []string, stdout, stderr io.Writer, signals func(context.Context, 
 	return code
 }
 
-// runFigures executes every requested figure, filling snaps with one
+// figureJob is one sweep to execute: the pre-built sweep plus the flag
+// spelling that selects it again (for resume and reproduction hints).
+type figureJob struct {
+	sw  *experiments.Sweep
+	sel string
+}
+
+// buildJobs materializes the requested sweeps — the six static figures
+// or the online experiment — applying the shared overrides.
+func buildJobs(cfg *config) []figureJob {
+	var jobs []figureJob
+	if cfg.online {
+		jobs = append(jobs, figureJob{catpa.OnlineFigure(cfg.sets, cfg.seed), "-online"})
+	} else {
+		for _, n := range cfg.figures {
+			jobs = append(jobs, figureJob{catpa.Figure(n, cfg.sets, cfg.seed), fmt.Sprintf("-figure %d", n)})
+		}
+	}
+	for _, jb := range jobs {
+		jb.sw.Workers = cfg.workers
+		if len(cfg.variants) > 0 {
+			jb.sw.Variants = append([]experiments.Variant(nil), cfg.variants...)
+		}
+	}
+	return jobs
+}
+
+// runFigures executes every requested sweep, filling snaps with one
 // metrics snapshot per completed-or-interrupted figure, and returns
 // the process exit code.
 func runFigures(ctx context.Context, cfg *config, stdout, stderr io.Writer, snaps map[string]*obs.Snapshot) int {
 	quarantined := 0
-	for _, n := range cfg.figures {
-		sw := catpa.Figure(n, cfg.sets, cfg.seed)
-		sw.Workers = cfg.workers
-		if len(cfg.variants) > 0 {
-			sw.Variants = append([]experiments.Variant(nil), cfg.variants...)
-		}
+	for _, jb := range buildJobs(cfg) {
+		sw := jb.sw
 
-		met := runner.NewMetrics(obs.NewRegistry(), sw.ActiveVariants()...)
+		met := runner.NewMetricsFor(obs.NewRegistry(), sw)
 		opts := &runner.Options{Metrics: met}
 		if cfg.checkpoint != "" {
 			if err := os.MkdirAll(cfg.checkpoint, 0o755); err != nil {
@@ -283,7 +323,7 @@ func runFigures(ctx context.Context, cfg *config, stdout, stderr io.Writer, snap
 		}
 		snaps[sw.Name] = met.Snapshot()
 		elapsed := time.Since(start).Round(time.Millisecond)
-		reportQuarantines(stderr, n, cfg, rep.Quarantined)
+		reportQuarantines(stderr, jb.sel, cfg, rep.Quarantined)
 		quarantined += len(rep.Quarantined)
 
 		if err != nil {
@@ -300,7 +340,7 @@ func runFigures(ctx context.Context, cfg *config, stdout, stderr io.Writer, snap
 					fmt.Fprintln(stderr, "mcexp:", err)
 				}
 			}
-			fmt.Fprintln(stderr, "mcexp:", resumeHint(cfg, n))
+			fmt.Fprintln(stderr, "mcexp:", resumeHint(cfg, jb.sel))
 			return exitFatal
 		}
 
@@ -372,10 +412,11 @@ func checkpointFile(dir, name string, seed int64, sets int) string {
 }
 
 // resumeHint reconstructs the command line that resumes an interrupted
-// run from its checkpoint.
-func resumeHint(cfg *config, figure int) string {
+// run from its checkpoint. sel is the flag spelling selecting the
+// sweep ("-figure 3" or "-online").
+func resumeHint(cfg *config, sel string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "resume with: mcexp -figure %d -sets %d -seed %d", figure, cfg.sets, cfg.seed)
+	fmt.Fprintf(&b, "resume with: mcexp %s -sets %d -seed %d", sel, cfg.sets, cfg.seed)
 	if cfg.workers != 0 {
 		fmt.Fprintf(&b, " -workers %d", cfg.workers)
 	}
@@ -411,16 +452,26 @@ func resumedNote(resumed []int) string {
 
 // reportQuarantines prints each quarantined task set with the exact
 // triple that reproduces it.
-func reportQuarantines(stderr io.Writer, figure int, cfg *config, qs []experiments.Quarantine) {
+func reportQuarantines(stderr io.Writer, sel string, cfg *config, qs []experiments.Quarantine) {
 	for _, q := range qs {
-		fmt.Fprintf(stderr, "mcexp: quarantined task set (%s); reproduce with: mcexp -figure %d -sets %d -seed %d\n",
-			q, figure, cfg.sets, cfg.seed)
+		fmt.Fprintf(stderr, "mcexp: quarantined task set (%s); reproduce with: mcexp %s -sets %d -seed %d\n",
+			q, sel, cfg.sets, cfg.seed)
 	}
 }
 
-// slug extracts a short file-name fragment from a chart title.
+// slug extracts a short file-name fragment from a chart title. The
+// online metric names are matched before the positional static ones so
+// both chart families get descriptive file names.
 func slug(title string) string {
 	switch {
+	case strings.Contains(title, "admission rate"):
+		return "a-admission-rate"
+	case strings.Contains(title, "shed rate"):
+		return "b-shed-rate"
+	case strings.Contains(title, "occupancy"):
+		return "c-occupancy"
+	case strings.Contains(title, "utilization over time"):
+		return "d-util-over-time"
 	case strings.Contains(title, "(a)"):
 		return "a-sched-ratio"
 	case strings.Contains(title, "(b)"):

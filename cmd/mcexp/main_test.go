@@ -24,6 +24,7 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"variant bad scheme", []string{"-variants", "XXX"}, `invalid -variants "XXX"`},
 		{"variant bad backend", []string{"-variants", "FFD@nope"}, `invalid -variants "FFD@nope"`},
 		{"stray argument", []string{"extra"}, `invalid argument "extra"`},
+		{"online with figure", []string{"-online", "-figure", "2"}, "drop -figure"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -133,6 +134,43 @@ func TestRunCheckpointResume(t *testing.T) {
 	}
 	if string(first) != string(second) {
 		t.Error("resumed CSV differs from the original run")
+	}
+}
+
+// TestRunOnlineCheckpointResume: the online experiment journals and
+// resumes through the same CLI path as the static figures, and the
+// rerun reproduces the admission-rate CSV byte for byte.
+func TestRunOnlineCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ckptDir := filepath.Join(dir, "ckpt")
+	outDir := filepath.Join(dir, "csv")
+	args := []string{"-online", "-sets", "4", "-workers", "2", "-csv", "-out", outDir, "-checkpoint", ckptDir}
+
+	var errb strings.Builder
+	if code := run(args, io.Discard, &errb, nil); code != exitOK {
+		t.Fatalf("first run: exit %d (stderr: %s)", code, errb.String())
+	}
+	if _, err := os.Stat(checkpointFile(ckptDir, "onl1", 2016, 4)); err != nil {
+		t.Fatalf("online checkpoint journal missing: %v", err)
+	}
+	first, err := os.ReadFile(filepath.Join(outDir, "onl1-a-admission-rate.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errb.Reset()
+	if code := run(args, io.Discard, &errb, nil); code != exitOK {
+		t.Fatalf("resumed run: exit %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "resumed from checkpoint") {
+		t.Errorf("second run did not resume:\n%s", errb.String())
+	}
+	second, err := os.ReadFile(filepath.Join(outDir, "onl1-a-admission-rate.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("resumed online CSV differs from the original run")
 	}
 }
 

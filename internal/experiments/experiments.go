@@ -89,6 +89,10 @@ type Sweep struct {
 	// Variants lists the (scheme, backend) pairs to compare; nil
 	// selects all five schemes on the default EDF-VD backend.
 	Variants []Variant
+	// Scenario selects the evaluation protocol per replication; nil
+	// selects the paper's static protocol (generate, partition once,
+	// record the verdict).
+	Scenario Scenario
 }
 
 // ActiveVariants resolves the sweep's variant list: Variants when set,
@@ -101,12 +105,19 @@ func (s *Sweep) ActiveVariants() []Variant {
 	return DefaultVariants()
 }
 
-// Cell aggregates one (point, variant) cell of a sweep.
+// Cell aggregates one (point, variant) cell of a sweep. For online
+// sweeps Sched counts clean replications (no arrival shed) and the
+// conditional means aggregate the end-of-horizon system state of clean
+// replications, so the four static charts keep their meaning; Online
+// carries the arrival-resolved aggregates. Static sweeps leave Online
+// nil, which the checkpoint journal omits — version-1 records decode
+// and re-encode byte-identically.
 type Cell struct {
-	Sched stats.Ratio
-	Usys  stats.Mean
-	Uavg  stats.Mean
-	Imb   stats.Mean
+	Sched  stats.Ratio
+	Usys   stats.Mean
+	Uavg   stats.Mean
+	Imb    stats.Mean
+	Online *OnlineCell `json:"Online,omitempty"`
 }
 
 func (c *Cell) merge(o *Cell) {
@@ -114,6 +125,12 @@ func (c *Cell) merge(o *Cell) {
 	c.Usys.Merge(&o.Usys)
 	c.Uavg.Merge(&o.Uavg)
 	c.Imb.Merge(&o.Imb)
+	if o.Online != nil {
+		if c.Online == nil {
+			c.Online = newOnlineCell(len(o.Online.UtilOverTime))
+		}
+		c.Online.merge(o.Online)
+	}
 }
 
 // Point is one X value's results across variants (indexed like the
@@ -208,21 +225,22 @@ type job struct {
 	done     *sync.WaitGroup
 }
 
-// pool is a persistent worker pool. Each worker owns one
-// taskgen.Generator and one partition.Partitioner per analysis backend
-// for its whole lifetime, so the steady state of a sweep — generate,
-// partition, aggregate — performs no heap allocations regardless of
-// how many points and figures are executed (on backends whose analysis
-// is itself allocation-free). Jobs are stripes of set indices;
-// determinism is preserved because stripe membership depends only on
-// the worker count, not on scheduling order, and rows are merged in
-// stripe order.
+// pool is a persistent worker pool. Each worker owns one scenario
+// worker — for the static protocol, one taskgen.Generator and one
+// partition.Partitioner per analysis backend — for its whole lifetime,
+// so the steady state of a sweep — generate, partition, aggregate —
+// performs no heap allocations regardless of how many points and
+// figures are executed (on backends whose analysis is itself
+// allocation-free). Jobs are stripes of set indices; determinism is
+// preserved because stripe membership depends only on the worker
+// count, not on scheduling order, and rows are merged in stripe order.
 type pool struct {
+	sc   Scenario
 	jobs chan job
 }
 
-func newPool(workers int) *pool {
-	p := &pool{jobs: make(chan job)}
+func newPool(workers int, sc Scenario) *pool {
+	p := &pool{sc: sc, jobs: make(chan job)}
 	for w := 0; w < workers; w++ {
 		go p.worker()
 	}
@@ -233,13 +251,14 @@ func newPool(workers int) *pool {
 func (p *pool) close() { close(p.jobs) }
 
 func (p *pool) worker() {
-	gen := taskgen.NewGenerator()
-	parts := make(map[string]*partition.Partitioner)
-	var evals []partition.Eval
-	for jb := range p.jobs {
-		armWorker(parts, &jb)
+	sw := p.sc.newWorker()
+	// jb lives for the goroutine: passing its address through the
+	// scenario interface would otherwise heap-allocate every job.
+	var jb job
+	for jb = range p.jobs {
+		sw.arm(&jb)
 		for set := jb.first; set < jb.sets; set += jb.stride {
-			q := runSet(gen, parts, &evals, &jb, set)
+			q := sw.evalSet(&jb, set)
 			if m := jb.metrics; m != nil {
 				m.setsTotal.Inc()
 			}
@@ -248,9 +267,9 @@ func (p *pool) worker() {
 			}
 			// Panic quarantine: the set counts as unschedulable for
 			// every variant, so per-variant totals stay exact, and the
-			// reproduction triple is recorded. The generator and
-			// partitioners may have been abandoned mid-update, so the
-			// worker re-arms with fresh scratch state before the next
+			// reproduction triple is recorded. The scenario worker's
+			// scratch state may have been abandoned mid-update, so the
+			// pool discards it and arms a fresh one before the next
 			// set.
 			*jb.quar = append(*jb.quar, *q)
 			for vi := range jb.variants {
@@ -262,12 +281,8 @@ func (p *pool) worker() {
 					m.rejected[vi].Inc()
 				}
 			}
-			gen = taskgen.NewGenerator()
-			for name := range parts {
-				delete(parts, name)
-			}
-			armWorker(parts, &jb)
-			evals = nil
+			sw = p.sc.newWorker()
+			sw.arm(&jb)
 		}
 		jb.done.Done()
 	}
@@ -397,12 +412,16 @@ func (s *Sweep) RunContext(ctx context.Context, cfg *RunConfig) (*Result, error)
 	if err := s.validateVariants(variants); err != nil {
 		return nil, err
 	}
+	sc := s.scenario()
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
 	groups := buildGroups(variants)
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	pl := newPool(workers)
+	pl := newPool(workers, sc)
 	defer pl.close()
 	res := &Result{Sweep: s, Points: make([]Point, len(s.Values))}
 	for pi, x := range s.Values {
@@ -578,10 +597,15 @@ func (r *Result) Chart(m Metric) *textplot.Chart {
 	return ch
 }
 
-// Charts returns all four sub-figures.
+// Charts returns all four sub-figures: the static metric family, or
+// the arrival-resolved online family when the sweep ran an
+// OnlineScenario.
 //
 //mc:deterministic chart order is part of the golden output
 func (r *Result) Charts() []*textplot.Chart {
+	if o, ok := r.Sweep.scenario().(*OnlineScenario); ok {
+		return r.onlineCharts(o)
+	}
 	out := make([]*textplot.Chart, 0, len(Metrics))
 	for _, m := range Metrics {
 		out = append(out, r.Chart(m))

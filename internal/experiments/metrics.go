@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strings"
+	"time"
 
 	"catpa/internal/obs"
 	"catpa/internal/partition"
@@ -30,6 +31,126 @@ type SweepMetrics struct {
 	genSeconds      *obs.Histogram
 	partSeconds     *obs.Histogram
 	anaSeconds      *obs.Histogram
+	online          *onlineMetrics // nil for static sweeps
+}
+
+// onlineMetrics is the observability surface of the online scenario:
+// event and per-variant admit/shed counters, plus two histograms
+// bucketed over scenario time (one bound per horizon bucket), so the
+// admission and shed timelines are readable from a metrics snapshot
+// without the cells. Registered only for online sweeps — a static
+// sweep's snapshot is byte-identical to the pre-scenario harness.
+type onlineMetrics struct {
+	events    *obs.Counter
+	admitted  []*obs.Counter // indexed like variants
+	shed      []*obs.Counter // indexed like variants
+	admitTime *obs.Histogram
+	shedTime  *obs.Histogram
+}
+
+// scenarioDuration renders scenario time (task-period units) on the
+// histogram's duration axis at one millisecond per unit, matching the
+// bounds laid by scenarioTimeBounds.
+//
+//mc:allocfree
+func scenarioDuration(t float64) time.Duration {
+	return time.Duration(t * float64(time.Millisecond))
+}
+
+// scenarioTimeBounds lays one histogram bound per horizon bucket, so
+// the obs histograms of the online family are time-bucketed exactly
+// like the cells' over-time curves.
+func scenarioTimeBounds(o *OnlineScenario) []time.Duration {
+	buckets := o.buckets()
+	bounds := make([]time.Duration, buckets)
+	for b := 0; b < buckets; b++ {
+		bounds[b] = scenarioDuration(float64(b+1) * o.Horizon / float64(buckets))
+	}
+	return bounds
+}
+
+// NewSweepMetricsFor registers the metrics surface matching the
+// sweep's scenario: the static family always, plus the online family
+// for online sweeps. Like NewSweepMetrics, each registry supports one
+// call.
+func NewSweepMetricsFor(reg *obs.Registry, sw *Sweep) *SweepMetrics {
+	m := NewSweepMetrics(reg, sw.ActiveVariants()...)
+	o, ok := sw.scenario().(*OnlineScenario)
+	if !ok {
+		return m
+	}
+	bounds := scenarioTimeBounds(o)
+	om := &onlineMetrics{
+		events:    reg.Counter("online.events.total"),
+		admitTime: reg.Histogram("online.admit.scenario.time", bounds),
+		shedTime:  reg.Histogram("online.shed.scenario.time", bounds),
+		admitted:  make([]*obs.Counter, len(m.variants)),
+		shed:      make([]*obs.Counter, len(m.variants)),
+	}
+	for vi, v := range m.variants {
+		om.admitted[vi] = reg.LabeledCounter("online.arrivals.admitted", v.Label())
+		om.shed[vi] = reg.LabeledCounter("online.arrivals.shed", v.Label())
+	}
+	m.online = om
+	return m
+}
+
+// observeEvents counts one replication's replayed events; no-op on a
+// nil receiver or a static sweep's surface.
+func (m *SweepMetrics) observeEvents(n int) {
+	if m == nil || m.online == nil {
+		return
+	}
+	m.online.events.Add(int64(n))
+}
+
+// observeAdmit records one admitted arrival at scenario time t.
+//
+//mc:allocfree atomics on preallocated storage
+func (m *SweepMetrics) observeAdmit(vi int, t float64) {
+	if m == nil || m.online == nil {
+		return
+	}
+	m.online.admitted[vi].Inc()
+	m.online.admitTime.Observe(scenarioDuration(t))
+}
+
+// observeShed records one shed arrival at scenario time t.
+//
+//mc:allocfree atomics on preallocated storage
+func (m *SweepMetrics) observeShed(vi int, t float64) {
+	if m == nil || m.online == nil {
+		return
+	}
+	m.online.shed[vi].Inc()
+	m.online.shedTime.Observe(scenarioDuration(t))
+}
+
+// EventsTotal returns the number of replayed online events counted, 0
+// for a static sweep's surface.
+func (m *SweepMetrics) EventsTotal() int64 {
+	if m.online == nil {
+		return 0
+	}
+	return m.online.events.Value()
+}
+
+// AdmittedArrivals returns the number of admitted arrivals counted for
+// variant index vi, 0 for a static sweep's surface.
+func (m *SweepMetrics) AdmittedArrivals(vi int) int64 {
+	if m.online == nil {
+		return 0
+	}
+	return m.online.admitted[vi].Value()
+}
+
+// ShedArrivals returns the number of shed arrivals counted for variant
+// index vi, 0 for a static sweep's surface.
+func (m *SweepMetrics) ShedArrivals(vi int) int64 {
+	if m.online == nil {
+		return 0
+	}
+	return m.online.shed[vi].Value()
 }
 
 // NewSweepMetrics registers the sweep metrics in reg and returns the

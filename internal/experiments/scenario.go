@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"catpa/internal/partition"
+	"catpa/internal/taskgen"
+)
+
+// Scenario is the evaluation protocol of a sweep: what "evaluate one
+// (point, set) replication" means. The paper's protocol — generate a
+// static task set, partition it once, record the verdict — is the
+// static scenario every sweep uses by default; OnlineScenario replays
+// an arrival-driven event stream through admission sessions instead.
+// Implementations live in this package (the worker contract is
+// unexported): the sweep machinery — striping, quarantine, checkpoint,
+// metrics — is scenario-agnostic and shared.
+type Scenario interface {
+	// Kind names the protocol in the checkpoint identity. The static
+	// scenario is "" so version-1 journals (written before scenarios
+	// existed) resume unchanged.
+	Kind() string
+	// validate reports a configuration error before any worker runs.
+	validate() error
+	// newWorker returns the per-worker scratch state (generators,
+	// partitioners, builders). Workers are confined to one goroutine;
+	// after a quarantined replication the pool discards the worker and
+	// builds a fresh one, so scratch state abandoned mid-update is
+	// never reused.
+	newWorker() scenarioWorker
+}
+
+// scenarioWorker is one worker's view of a scenario: arm for a job,
+// then evaluate its stripe of replications.
+type scenarioWorker interface {
+	// arm readies the worker for a job (dimension partitioners, size
+	// row state). Called once per job and again after a quarantine
+	// rebuild, always before evalSet.
+	arm(jb *job)
+	// evalSet evaluates replication set of the job, accumulating into
+	// jb.row, and converts a panic into a Quarantine (nil on success).
+	// The caller adds the quarantined set's Sched/rejected markers.
+	evalSet(jb *job, set int) *Quarantine
+}
+
+// scenario resolves the sweep's protocol: Scenario when set, the
+// static paper protocol otherwise.
+func (s *Sweep) scenario() Scenario {
+	if s.Scenario != nil {
+		return s.Scenario
+	}
+	return staticScenario{}
+}
+
+// ScenarioKind names the sweep's protocol for the checkpoint header:
+// "" for static sweeps (the version-1 identity), the scenario's kind
+// otherwise.
+func (s *Sweep) ScenarioKind() string { return s.scenario().Kind() }
+
+// staticScenario is the paper's Table-IV protocol as a Scenario: each
+// replication generates one task set and partitions it once per
+// variant. Its worker is the original pool worker state, so the
+// refactored pipeline evaluates static sweeps bit-identically to the
+// pre-scenario harness (the figure goldens prove it).
+type staticScenario struct{}
+
+func (staticScenario) Kind() string { return "" }
+
+func (staticScenario) validate() error { return nil }
+
+func (staticScenario) newWorker() scenarioWorker {
+	return &staticWorker{
+		gen:   taskgen.NewGenerator(),
+		parts: make(map[string]*partition.Partitioner),
+	}
+}
+
+// staticWorker owns one Table-IV generator and one Partitioner per
+// analysis backend for its whole lifetime, so the steady state of a
+// static sweep — generate, partition, aggregate — performs no heap
+// allocations (see TestInstrumentedSetEvaluationZeroAllocs).
+type staticWorker struct {
+	gen   *taskgen.Generator
+	parts map[string]*partition.Partitioner
+	evals []partition.Eval
+}
+
+func (w *staticWorker) arm(jb *job) { armWorker(w.parts, jb) }
+
+func (w *staticWorker) evalSet(jb *job, set int) *Quarantine {
+	return runSet(w.gen, w.parts, &w.evals, jb, set)
+}

@@ -247,3 +247,91 @@ func TestSimOracleIncrementalAcceptsAreSafe(t *testing.T) {
 		})
 	}
 }
+
+// TestSimOracleOnlineScenarioChurn extends the differential proof to
+// scenario-driven churn: the arrival/departure event streams of the
+// online scenario (Poisson arrivals with exponential lifetimes, the
+// same process family mcexp -online replays) drive admission sessions,
+// and after every accepted Admit the touched core's committed
+// configuration is recorded on a sim.Timeline. Every distinct
+// configuration any online accept ever produced is then executed under
+// the adversarial worst-case model — zero non-dropped deadline misses,
+// under both analysis backends. This is the oracle behind the online
+// figures: the admission rates mcexp reports count only placements the
+// simulator cannot falsify.
+func TestSimOracleOnlineScenarioChurn(t *testing.T) {
+	const (
+		seed = 20260810
+		sets = 24
+	)
+	for _, backend := range []string{partition.DefaultBackend, "amcrtb"} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := taskgen.DefaultConfig()
+			cfg.M = 4
+			cfg.K = 2 // shared dimension: amcrtb is dual-criticality
+			cfg.N = taskgen.IntRange{Lo: 24, Hi: 24}
+			fp := backend == "amcrtb"
+			proc := taskgen.Poisson{Rate: 0.06, MeanLifetime: 300}
+			const horizon = 1200.0
+
+			tl := sim.NewTimeline(cfg.K)
+			sb := taskgen.NewStreamBuilder()
+			scratch := &mc.TaskSet{}
+			accepts := 0
+			for _, nsu := range []float64{0.6, 0.9, 1.2} {
+				cfg.NSU = nsu
+				for idx := 0; idx < sets; idx++ {
+					ts := taskgen.GenerateIndexed(&cfg, seed, idx)
+					events := sb.Build(proc, ts.Len(), horizon, seed, idx)
+					be, err := partition.NewBackend(backend)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := partition.NewWithBackend(cfg.M, cfg.K, be)
+					for _, scheme := range []partition.Scheme{partition.CATPA, partition.FFD} {
+						p.StartIncremental(ts, scheme, nil)
+						for _, e := range events {
+							if e.Arrive {
+								core, ok := p.Admit(e.Task)
+								if !ok {
+									continue // shed: no schedulability claim made
+								}
+								accepts++
+								// Materialize the touched core's committed
+								// configuration — the stationary system the
+								// analysis just vouched for.
+								scratch.Tasks = scratch.Tasks[:0]
+								for ti := 0; ti < ts.Len(); ti++ {
+									if p.Assigned(ti) == core {
+										scratch.Tasks = append(scratch.Tasks, ts.Tasks[ti])
+									}
+								}
+								tl.ObserveCore(scratch)
+							} else if p.Assigned(e.Task) >= 0 {
+								p.Release(e.Task)
+							}
+						}
+					}
+				}
+			}
+			if accepts == 0 {
+				t.Fatal("online oracle never saw an accept; the scenario parameters are vacuous")
+			}
+			sc := sim.SystemConfig{}
+			if fp {
+				sc.FixedPriority = true
+				sc.PrioritiesFor = func(i int) []int {
+					return fpamc.Priorities(tl.Config(i).Tasks)
+				}
+			}
+			st := tl.Run(sc)
+			if st.Missed() != 0 {
+				t.Fatalf("an online-accepted configuration missed deadlines under the worst-case model\n"+
+					"backend %s, %d accepts over %d distinct configurations\n%s",
+					backend, accepts, tl.Configs(), st.String())
+			}
+			t.Logf("online scenario oracle (%s): %d accepts, %d distinct configurations simulated, 0 misses",
+				backend, accepts, tl.Configs())
+		})
+	}
+}

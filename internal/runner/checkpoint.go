@@ -32,15 +32,23 @@ const checkpointKind = "catpa-sweep-checkpoint"
 // identity as today's default sweeps and resume without a version
 // bump; a journal from a different variant list simply fails the
 // identity match and the run starts fresh.
+// The "scenario" field names the sweep's evaluation protocol
+// (Sweep.ScenarioKind). Static sweeps render it as "" — omitted from
+// the encoded header — so version-1 journals, written before scenarios
+// existed, carry the exact identity of today's static sweeps and
+// resume byte-identically without a version bump; a journal written
+// under a different scenario fails the identity match instead of
+// silently mixing protocols whose cells mean different things.
 type header struct {
-	Version int       `json:"version"`
-	Kind    string    `json:"kind"`
-	Name    string    `json:"name"`
-	Seed    int64     `json:"seed"`
-	Sets    int       `json:"sets"`
-	Workers int       `json:"workers"`
-	Schemes []string  `json:"schemes"`
-	Values  []float64 `json:"values"`
+	Version  int       `json:"version"`
+	Kind     string    `json:"kind"`
+	Name     string    `json:"name"`
+	Seed     int64     `json:"seed"`
+	Sets     int       `json:"sets"`
+	Workers  int       `json:"workers"`
+	Schemes  []string  `json:"schemes"`
+	Values   []float64 `json:"values"`
+	Scenario string    `json:"scenario,omitempty"`
 }
 
 // pointRecord is one completed sweep point: the merged cells (with the
@@ -242,6 +250,9 @@ func (h header) checkCompatible(have header) error {
 		return fmt.Errorf("scheme list %v does not match %v", have.Schemes, h.Schemes)
 	case fmt.Sprint(have.Values) != fmt.Sprint(h.Values):
 		return fmt.Errorf("sweep values %v do not match %v", have.Values, h.Values)
+	case have.Scenario != h.Scenario:
+		return fmt.Errorf("scenario %q does not match %q; the cells of different protocols are not interchangeable",
+			have.Scenario, h.Scenario)
 	}
 	return nil
 }

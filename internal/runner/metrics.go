@@ -41,8 +41,19 @@ type Metrics struct {
 // variant list must match the sweep's (ActiveVariants); empty selects
 // the five default-backend schemes.
 func NewMetrics(reg *obs.Registry, variants ...experiments.Variant) *Metrics {
+	return newMetrics(reg, experiments.NewSweepMetrics(reg, variants...))
+}
+
+// NewMetricsFor registers the metric set matching the sweep's scenario:
+// NewMetrics' static family always, plus the online family (event and
+// admit/shed counters, scenario-time histograms) for online sweeps.
+func NewMetricsFor(reg *obs.Registry, sw *experiments.Sweep) *Metrics {
+	return newMetrics(reg, experiments.NewSweepMetricsFor(reg, sw))
+}
+
+func newMetrics(reg *obs.Registry, exp *experiments.SweepMetrics) *Metrics {
 	return &Metrics{
-		Exp:            experiments.NewSweepMetrics(reg, variants...),
+		Exp:            exp,
 		reg:            reg,
 		writes:         reg.Counter("checkpoint.writes.total"),
 		writeSeconds:   reg.Histogram("checkpoint.write.seconds", nil),

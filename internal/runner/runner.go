@@ -123,14 +123,15 @@ func Run(ctx context.Context, sw *experiments.Sweep, opts *Options) (*Report, er
 	var ck *Checkpoint
 	if opts.CheckpointPath != "" {
 		hdr := header{
-			Version: checkpointVersion,
-			Kind:    checkpointKind,
-			Name:    sw.Name,
-			Seed:    sw.Seed,
-			Sets:    sw.Sets,
-			Workers: workers,
-			Schemes: variantNames(variants),
-			Values:  sw.Values,
+			Version:  checkpointVersion,
+			Kind:     checkpointKind,
+			Name:     sw.Name,
+			Seed:     sw.Seed,
+			Sets:     sw.Sets,
+			Workers:  workers,
+			Schemes:  variantNames(variants),
+			Values:   sw.Values,
+			Scenario: sw.ScenarioKind(),
 		}
 		var err error
 		ck, err = openCheckpoint(opts.CheckpointPath, hdr, opts.WriteFile)

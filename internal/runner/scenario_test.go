@@ -1,0 +1,177 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"catpa/internal/experiments"
+	"catpa/internal/partition"
+	"catpa/internal/taskgen"
+)
+
+// onlineTestSweep returns a small deterministic online sweep; worker
+// count pinned for the byte-identical-resume contract.
+func onlineTestSweep() *experiments.Sweep {
+	return &experiments.Sweep{
+		Name:   "onltest",
+		Title:  "runner online test sweep",
+		Param:  "NSU",
+		Values: []float64{1.0, 1.3, 1.6},
+		Apply: func(p *experiments.Params, x float64) {
+			p.M = 4
+			p.K = 2
+			p.N = taskgen.IntRange{Lo: 24, Hi: 24}
+			p.NSU = x
+		},
+		Sets:    20,
+		Seed:    11,
+		Workers: 2,
+		Variants: []experiments.Variant{
+			{Scheme: partition.CATPA},
+			{Scheme: partition.FFD},
+		},
+		Scenario: &experiments.OnlineScenario{
+			Process: taskgen.Poisson{Rate: 0.05, MeanLifetime: 400},
+			Horizon: 1000,
+			Buckets: 8,
+		},
+	}
+}
+
+// TestVersion1StaticJournalResumesByteIdentical proves the checkpoint
+// identity change is invisible to static sweeps: the header of a
+// static journal carries no scenario field at all — so a version-1
+// journal written before scenarios existed is byte-for-byte what this
+// binary writes — and resuming from one reproduces the uninterrupted
+// run bit for bit, journal included.
+func TestVersion1StaticJournalResumesByteIdentical(t *testing.T) {
+	golden := goldenRun(t)
+	dir := t.TempDir()
+
+	// Reference journal of a complete run.
+	full := filepath.Join(dir, "full.ckpt")
+	if _, err := Run(context.Background(), testSweep(), &Options{CheckpointPath: full}); err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerLine := strings.SplitN(string(data), "\n", 2)[0]
+	if strings.Contains(headerLine, "scenario") {
+		t.Fatalf("static journal header mentions scenario — version-1 identity broken:\n%s", headerLine)
+	}
+
+	// Interrupt a checkpointed run after point 0, then resume: the
+	// journal on disk at resume time is exactly a version-1 static
+	// journal (no scenario field anywhere).
+	ckpt := filepath.Join(dir, "v1.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = Run(ctx, testSweep(), &Options{
+		CheckpointPath: ckpt,
+		OnPoint: func(pi int, _ *experiments.Point) {
+			if pi == 0 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	partial, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(partial), "scenario") {
+		t.Fatal("partial static journal mentions scenario")
+	}
+
+	rep, err := Run(context.Background(), testSweep(), &Options{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if got := rep.Resumed; !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("resumed points %v, want [0]", got)
+	}
+	if got, want := allCSV(rep.Result), allCSV(golden.Result); got != want {
+		t.Error("resume from a version-1 static journal is not byte-identical")
+	}
+	// The rewritten journal matches the reference complete journal
+	// byte for byte (same worker count, same striping, same format).
+	resumed, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumed) != string(data) {
+		t.Error("journal rewritten on resume differs from an uninterrupted run's journal")
+	}
+}
+
+// TestOnlineSweepCheckpointResume extends the byte-identical-resume
+// contract to the online scenario: the online cells (ratios, means,
+// time-bucketed curves) round-trip through the CRC journal exactly,
+// and the header carries the scenario kind.
+func TestOnlineSweepCheckpointResume(t *testing.T) {
+	golden, err := Run(context.Background(), onlineTestSweep(), nil)
+	if err != nil {
+		t.Fatalf("golden online run: %v", err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "onl.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = Run(ctx, onlineTestSweep(), &Options{
+		CheckpointPath: ckpt,
+		OnPoint: func(pi int, _ *experiments.Point) {
+			if pi == 0 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(string(data), "\n", 2)[0], `\"scenario\":\"online\"`) &&
+		!strings.Contains(strings.SplitN(string(data), "\n", 2)[0], `"scenario":"online"`) {
+		t.Fatalf("online journal header does not carry the scenario kind:\n%s", strings.SplitN(string(data), "\n", 2)[0])
+	}
+
+	rep, err := Run(context.Background(), onlineTestSweep(), &Options{CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatalf("resumed online run: %v", err)
+	}
+	if got := rep.Resumed; !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("resumed points %v, want [0]", got)
+	}
+	if got, want := allCSV(rep.Result), allCSV(golden.Result); got != want {
+		t.Errorf("online resume differs from uninterrupted run:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if !reflect.DeepEqual(rep.Result.Points, golden.Result.Points) {
+		t.Error("resumed online points differ bitwise from uninterrupted run")
+	}
+}
+
+// TestScenarioMismatchRefused: a static journal must not resume an
+// online run of otherwise identical identity (and vice versa) — their
+// cells mean different things.
+func TestScenarioMismatchRefused(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "mix.ckpt")
+	static := onlineTestSweep()
+	static.Scenario = nil
+	if _, err := Run(context.Background(), static, &Options{CheckpointPath: ckpt}); err != nil {
+		t.Fatalf("static run: %v", err)
+	}
+	_, err := Run(context.Background(), onlineTestSweep(), &Options{CheckpointPath: ckpt})
+	if err == nil || !strings.Contains(err.Error(), "scenario") {
+		t.Fatalf("online resume over a static journal: err = %v, want scenario mismatch", err)
+	}
+}

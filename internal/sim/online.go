@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"fmt"
+
+	"catpa/internal/mc"
+)
+
+// Timeline extends the sim-oracle to the dynamic systems an online
+// scenario commits: an admission session walks a core through a
+// sequence of task-subset configurations (one membership change per
+// accepted Admit or Release), and each configuration is a stationary
+// system between membership changes — the analysis that screened the
+// admission asserts the configuration schedulable from idle, with all
+// mode-switch dynamics happening inside the epoch. A Timeline collects
+// every distinct configuration observed along such a walk (deduplicated
+// by the canonical task-set hash, in first-seen order) and Run executes
+// each under an execution model, so "every online accept survives the
+// worst-case model" becomes one SimulateSystem call over the distinct
+// configurations instead of a quadratic re-simulation per event.
+//
+// A Timeline is not safe for concurrent use.
+type Timeline struct {
+	k       int
+	seen    map[uint64]struct{}
+	configs []*mc.TaskSet
+}
+
+// NewTimeline returns an empty timeline for systems of k criticality
+// levels.
+func NewTimeline(k int) *Timeline {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: NewTimeline: k = %d < 1", k))
+	}
+	return &Timeline{k: k, seen: make(map[uint64]struct{})}
+}
+
+// ObserveCore records one core's committed subset after a membership
+// change. Empty subsets carry no schedulability claim and are skipped;
+// previously-seen configurations (by mc.TaskSetHash, so task order and
+// labels are irrelevant) are deduplicated. The subset is cloned — the
+// caller may keep mutating its scratch storage.
+func (tl *Timeline) ObserveCore(sub *mc.TaskSet) {
+	if sub == nil || len(sub.Tasks) == 0 {
+		return
+	}
+	h := mc.TaskSetHash(sub)
+	if _, ok := tl.seen[h]; ok {
+		return
+	}
+	tl.seen[h] = struct{}{}
+	tl.configs = append(tl.configs, sub.Clone())
+}
+
+// Observe records every core of a partitioned system, one ObserveCore
+// per subset.
+func (tl *Timeline) Observe(subsets []*mc.TaskSet) {
+	for _, sub := range subsets {
+		tl.ObserveCore(sub)
+	}
+}
+
+// Configs returns the number of distinct configurations observed.
+func (tl *Timeline) Configs() int { return len(tl.configs) }
+
+// Config returns the i-th distinct configuration, in first-seen order;
+// the index space PrioritiesFor and ModelFor address under Run.
+func (tl *Timeline) Config(i int) *mc.TaskSet { return tl.configs[i] }
+
+// Run executes every distinct observed configuration under cfg, each
+// as one independent core of a partitioned system (a configuration's
+// epoch has no coupling to any other), and returns the combined
+// statistics: the oracle's verdict is Missed() == 0. cfg.Subsets is
+// owned by the timeline and must be nil; cfg.ModelFor and
+// cfg.PrioritiesFor are indexed like Config. A zero cfg.K inherits the
+// timeline's.
+func (tl *Timeline) Run(cfg SystemConfig) *SystemStats {
+	if cfg.Subsets != nil {
+		panic("sim: Timeline.Run: cfg.Subsets is owned by the timeline")
+	}
+	if cfg.K == 0 {
+		cfg.K = tl.k
+	}
+	cfg.Subsets = tl.configs
+	return SimulateSystem(cfg)
+}

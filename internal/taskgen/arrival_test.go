@@ -1,0 +1,182 @@
+package taskgen
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestArrivalProcessValidate pins the configuration errors of both
+// processes.
+func TestArrivalProcessValidate(t *testing.T) {
+	pos := MustCDF([]float64{1}, []float64{5})
+	neg := MustCDF([]float64{0.5, 1}, []float64{-1, 5})
+	cases := []struct {
+		name string
+		p    ArrivalProcess
+		want string // "" means valid
+	}{
+		{"poisson ok", Poisson{Rate: 0.1, MeanLifetime: 100}, ""},
+		{"poisson zero rate", Poisson{Rate: 0, MeanLifetime: 100}, "taskgen: poisson: rate 0 <= 0"},
+		{"poisson bad lifetime", Poisson{Rate: 0.1, MeanLifetime: -2}, "taskgen: poisson: mean lifetime -2 <= 0"},
+		{"trace ok", &TraceArrivals{InterArrival: pos, Lifetime: pos}, ""},
+		{"trace nil gap", &TraceArrivals{Lifetime: pos}, "taskgen: trace arrivals: nil inter-arrival CDF"},
+		{"trace nil lifetime", &TraceArrivals{InterArrival: pos}, "taskgen: trace arrivals: nil lifetime CDF"},
+		{"trace negative gap", &TraceArrivals{InterArrival: neg, Lifetime: pos}, "taskgen: trace arrivals: inter-arrival support must be non-negative, got min -1"},
+		{"trace negative lifetime", &TraceArrivals{InterArrival: pos, Lifetime: neg}, "taskgen: trace arrivals: lifetime support must be non-negative, got min -1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || err.Error() != tc.want {
+				t.Fatalf("error:\n got: %v\nwant: %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStreamDeterministic checks the addressing contract: (process, n,
+// horizon, baseSeed, idx) names one event stream bit for bit, across
+// builder instances and interleaved call orders, and distinct indices
+// produce distinct streams.
+func TestStreamDeterministic(t *testing.T) {
+	p := Poisson{Rate: 0.05, MeanLifetime: 400}
+	a, b := NewStreamBuilder(), NewStreamBuilder()
+	a.Build(p, 64, 2000, 2016, 9) // perturb a's slab state
+
+	for _, idx := range []int{0, 1, 17} {
+		got := append([]Event(nil), a.Build(p, 64, 2000, 2016, idx)...)
+		want := b.Build(p, 64, 2000, 2016, idx)
+		if len(got) != len(want) {
+			t.Fatalf("idx %d: %d vs %d events", idx, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("idx %d event %d: %+v vs %+v", idx, i, got[i], want[i])
+			}
+		}
+	}
+
+	s0 := append([]Event(nil), a.Build(p, 64, 2000, 2016, 0)...)
+	s1 := a.Build(p, 64, 2000, 2016, 1)
+	if len(s0) == len(s1) {
+		same := true
+		for i := range s0 {
+			if s0[i] != s1[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("indices 0 and 1 produced identical streams")
+		}
+	}
+}
+
+// TestStreamInvariants checks the stream's structural contract: sorted
+// by the documented order, every timestamp inside [0, horizon), each
+// task arriving at most once, and departures only for tasks that
+// arrived, strictly after their arrival.
+func TestStreamInvariants(t *testing.T) {
+	sb := NewStreamBuilder()
+	byTime := eventsByTime(nil)
+	for idx := 0; idx < 10; idx++ {
+		ev := sb.Build(Poisson{Rate: 0.1, MeanLifetime: 50}, 100, 500, 7, idx)
+		byTime = ev
+		for i := 1; i < len(ev); i++ {
+			if byTimeLess := (&byTime).Less(i, i-1); byTimeLess {
+				t.Fatalf("idx %d: events %d,%d out of order: %+v then %+v", idx, i-1, i, ev[i-1], ev[i])
+			}
+		}
+		arrived := map[int]float64{}
+		departed := map[int]bool{}
+		for _, e := range ev {
+			if e.Time < 0 || e.Time >= 500 {
+				t.Fatalf("idx %d: event time %v outside [0, horizon)", idx, e.Time)
+			}
+			if e.Arrive {
+				if _, dup := arrived[e.Task]; dup {
+					t.Fatalf("idx %d: task %d arrived twice", idx, e.Task)
+				}
+				arrived[e.Task] = e.Time
+			} else {
+				at, ok := arrived[e.Task]
+				if !ok {
+					t.Fatalf("idx %d: task %d departed before arriving", idx, e.Task)
+				}
+				if departed[e.Task] {
+					t.Fatalf("idx %d: task %d departed twice", idx, e.Task)
+				}
+				if e.Time <= at {
+					t.Fatalf("idx %d: task %d departed at %v, arrived at %v", idx, e.Task, e.Time, at)
+				}
+				departed[e.Task] = true
+			}
+		}
+	}
+}
+
+// TestStreamTieBreak checks the documented equal-timestamp order
+// directly on the sorter: departures first, then ascending task index.
+func TestStreamTieBreak(t *testing.T) {
+	ev := eventsByTime{
+		{Time: 5, Task: 2, Arrive: true},
+		{Time: 5, Task: 1, Arrive: false},
+		{Time: 5, Task: 0, Arrive: true},
+		{Time: 5, Task: 3, Arrive: false},
+	}
+	want := []Event{
+		{Time: 5, Task: 1, Arrive: false},
+		{Time: 5, Task: 3, Arrive: false},
+		{Time: 5, Task: 0, Arrive: true},
+		{Time: 5, Task: 2, Arrive: true},
+	}
+	sort.Sort(&ev)
+	for i := range want {
+		if ev[i] != want[i] {
+			t.Fatalf("tie-break order: got %+v at %d, want %+v", ev[i], i, want[i])
+		}
+	}
+}
+
+// TestStreamZeroAllocs proves the builder's slab contract: steady-state
+// stream construction performs no heap allocations.
+func TestStreamZeroAllocs(t *testing.T) {
+	sb := NewStreamBuilder()
+	// Box the process into the interface once, as a scenario holding an
+	// ArrivalProcess field does; per-call conversion would count as the
+	// caller's allocation, not the builder's.
+	var p ArrivalProcess = Poisson{Rate: 0.05, MeanLifetime: 400}
+	for idx := 0; idx < 8; idx++ {
+		sb.Build(p, 64, 2000, 3, idx)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		sb.Build(p, 64, 2000, 3, 4)
+	})
+	if avg != 0 {
+		t.Fatalf("StreamBuilder.Build allocates %v per run, want 0", avg)
+	}
+}
+
+// TestStreamBadInputs checks that invalid processes and horizons are
+// rejected by panic before any draw.
+func TestStreamBadInputs(t *testing.T) {
+	sb := NewStreamBuilder()
+	mustPanic(t, "invalid process", func() { sb.Build(Poisson{}, 10, 100, 1, 0) })
+	mustPanic(t, "zero horizon", func() { sb.Build(Poisson{Rate: 1, MeanLifetime: 1}, 10, 0, 1, 0) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", name)
+		}
+	}()
+	fn()
+}

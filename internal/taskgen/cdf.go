@@ -1,0 +1,120 @@
+package taskgen
+
+import (
+	"fmt"
+	"math"
+)
+
+// CDF is a validated empirical cumulative distribution function given
+// as a quantile table: P(X <= Values[i]) = Probs[i]. Sampling inverts
+// the table (inverse-transform sampling with linear interpolation
+// between entries), so every sampled value lies inside the loaded
+// support [Values[0], Values[len-1]] — the invariant FuzzCDFSource
+// pins. The table is the pattern real-trace drivers load from CSV
+// (chain length / inter-arrival / CV tables); this repo keeps the
+// loading format to the caller and validates only the mathematics.
+//
+// A CDF is immutable after construction and safe for concurrent use.
+type CDF struct {
+	probs  []float64
+	values []float64
+}
+
+// NewCDF validates a quantile table and returns the CDF over it. The
+// table must be non-empty, every entry finite, probs strictly
+// increasing within (0, 1] and ending at exactly 1, and values
+// non-decreasing (a non-monotone quantile table is not a distribution).
+// The slices are copied; the caller may reuse its storage.
+func NewCDF(probs, values []float64) (*CDF, error) {
+	if len(probs) == 0 || len(values) == 0 {
+		return nil, fmt.Errorf("taskgen: cdf: empty quantile table")
+	}
+	if len(probs) != len(values) {
+		return nil, fmt.Errorf("taskgen: cdf: %d probs vs %d values", len(probs), len(values))
+	}
+	for i, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, fmt.Errorf("taskgen: cdf: prob[%d] = %v is not finite", i, p)
+		}
+		if p <= 0 || p > 1 {
+			return nil, fmt.Errorf("taskgen: cdf: prob[%d] = %v outside (0, 1]", i, p)
+		}
+		if i > 0 && p <= probs[i-1] {
+			return nil, fmt.Errorf("taskgen: cdf: probs not strictly increasing: prob[%d] = %v <= prob[%d] = %v", i, p, i-1, probs[i-1])
+		}
+	}
+	//lint:ignore mclint/floateq deliberately exact: a table not ending at exactly 1 leaves probability mass undefined
+	if last := probs[len(probs)-1]; last != 1 {
+		return nil, fmt.Errorf("taskgen: cdf: last prob must be 1, got %v", last)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("taskgen: cdf: value[%d] = %v is not finite", i, v)
+		}
+		if i > 0 && v < values[i-1] {
+			return nil, fmt.Errorf("taskgen: cdf: non-monotone quantiles: value[%d] = %v < value[%d] = %v", i, v, i-1, values[i-1])
+		}
+	}
+	return &CDF{
+		probs:  append([]float64(nil), probs...),
+		values: append([]float64(nil), values...),
+	}, nil
+}
+
+// MustCDF is NewCDF panicking on error, for tables written in source.
+func MustCDF(probs, values []float64) *CDF {
+	c, err := NewCDF(probs, values)
+	if err != nil {
+		//lint:ignore mclint/panicmsg NewCDF errors already carry the "taskgen: " prefix
+		panic(err)
+	}
+	return c
+}
+
+// Quantile returns the value at cumulative probability u, clamping u
+// into [0, 1]: below the first table entry it interpolates from the
+// support minimum Values[0] (the empirical distribution has no mass
+// below it), between entries it interpolates linearly, and at u = 1 it
+// returns the support maximum. The result always lies inside
+// [Min(), Max()].
+//
+//mc:allocfree pure arithmetic over the immutable table
+func (c *CDF) Quantile(u float64) float64 {
+	if u <= 0 {
+		return c.values[0]
+	}
+	if u >= 1 {
+		return c.values[len(c.values)-1]
+	}
+	// Binary search for the first entry with probs[i] >= u. Hand-rolled
+	// for the same reason as obs.Histogram.Observe: sort.Search's
+	// closure would cost the hot path its zero-allocation guarantee.
+	lo, hi := 0, len(c.probs)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.probs[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	p1, v1 := c.probs[lo], c.values[lo]
+	p0, v0 := 0.0, c.values[0]
+	if lo > 0 {
+		p0, v0 = c.probs[lo-1], c.values[lo-1]
+	}
+	//lint:ignore mclint/floateq deliberately exact: guards the 0/0 interpolation, and table probs are strictly increasing otherwise
+	if p1 == p0 {
+		return v1
+	}
+	return v0 + (v1-v0)*(u-p0)/(p1-p0)
+}
+
+// Min returns the support minimum Values[0].
+func (c *CDF) Min() float64 { return c.values[0] }
+
+// Max returns the support maximum Values[len-1].
+func (c *CDF) Max() float64 { return c.values[len(c.values)-1] }
+
+// Len returns the number of table entries.
+func (c *CDF) Len() int { return len(c.probs) }

@@ -1,0 +1,147 @@
+package taskgen
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestNewCDFValidation pins the exact error message of every rejected
+// table shape: these strings are the API surface a trace-loading CLI
+// would surface to users, so they are part of the contract.
+func TestNewCDFValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		probs  []float64
+		values []float64
+		want   string // "" means valid
+	}{
+		{"valid", []float64{0.5, 1}, []float64{1, 2}, ""},
+		{"valid single", []float64{1}, []float64{7}, ""},
+		{"valid flat values", []float64{0.25, 0.5, 1}, []float64{3, 3, 3}, ""},
+		{"empty", nil, nil, "taskgen: cdf: empty quantile table"},
+		{"length mismatch", []float64{0.5, 1}, []float64{1}, "taskgen: cdf: 2 probs vs 1 values"},
+		{"nan prob", []float64{math.NaN(), 1}, []float64{1, 2}, "taskgen: cdf: prob[0] = NaN is not finite"},
+		{"inf value", []float64{0.5, 1}, []float64{1, math.Inf(1)}, "taskgen: cdf: value[1] = +Inf is not finite"},
+		{"nan value", []float64{0.5, 1}, []float64{math.NaN(), 2}, "taskgen: cdf: value[0] = NaN is not finite"},
+		{"prob zero", []float64{0, 1}, []float64{1, 2}, "taskgen: cdf: prob[0] = 0 outside (0, 1]"},
+		{"prob above one", []float64{0.5, 1.5}, []float64{1, 2}, "taskgen: cdf: prob[1] = 1.5 outside (0, 1]"},
+		{"probs not increasing", []float64{0.5, 0.5, 1}, []float64{1, 2, 3}, "taskgen: cdf: probs not strictly increasing: prob[1] = 0.5 <= prob[0] = 0.5"},
+		{"last prob short", []float64{0.5, 0.9}, []float64{1, 2}, "taskgen: cdf: last prob must be 1, got 0.9"},
+		{"non-monotone quantiles", []float64{0.5, 1}, []float64{2, 1}, "taskgen: cdf: non-monotone quantiles: value[1] = 1 < value[0] = 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewCDF(tc.probs, tc.values)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if c == nil {
+					t.Fatal("valid table returned nil CDF")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted invalid table %v / %v", tc.probs, tc.values)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error message:\n got: %s\nwant: %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCDFQuantile checks the inverse-transform mathematics: exact table
+// hits, linear interpolation between entries, and clamping at the
+// support edges.
+func TestCDFQuantile(t *testing.T) {
+	c := MustCDF([]float64{0.25, 0.5, 1}, []float64{10, 20, 40})
+	cases := []struct{ u, want float64 }{
+		{-1, 10}, {0, 10}, {0.25, 10}, {0.5, 20}, {1, 40},
+		{0.125, 10}, // below the first entry: flat at the support minimum
+		{0.375, 15}, // halfway between the first two entries
+		{0.75, 30},  // halfway up the last segment
+		{1.5, 40},   // clamped above
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.u); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.u, got, tc.want)
+		}
+	}
+	if c.Min() != 10 || c.Max() != 40 || c.Len() != 3 {
+		t.Errorf("Min/Max/Len = %v/%v/%d, want 10/40/3", c.Min(), c.Max(), c.Len())
+	}
+}
+
+// TestCDFQuantileMonotone checks that the quantile function is
+// non-decreasing over a dense u grid (the property inverse-transform
+// sampling needs).
+func TestCDFQuantileMonotone(t *testing.T) {
+	c := MustCDF([]float64{0.1, 0.2, 0.7, 1}, []float64{-5, -5, 3, 100})
+	prev := math.Inf(-1)
+	for i := 0; i <= 1000; i++ {
+		u := float64(i) / 1000
+		v := c.Quantile(u)
+		if v < prev {
+			t.Fatalf("Quantile not monotone at u=%v: %v < %v", u, v, prev)
+		}
+		prev = v
+	}
+}
+
+// FuzzCDFSource is the support gate of the empirical sampling path: a
+// CDF built from arbitrary fuzzed tables must keep every sampled value
+// inside the loaded support [Min, Max], and a CDFSource driven by such
+// tables must keep every drawn period inside its period support. This
+// is the invariant that makes trace-shaped generation safe: no fuzzed
+// table can make the sampler extrapolate outside the data it was given.
+func FuzzCDFSource(f *testing.F) {
+	f.Add(int64(1), 0.3, 10.0, 0.7, 50.0, 1.0, 200.0)
+	f.Add(int64(99), 0.01, 0.5, 0.02, 0.5, 0.5, 1e6)
+	f.Add(int64(-7), 1.0, 42.0, 2.0, 42.0, 3.0, 42.0)
+	f.Fuzz(func(t *testing.T, seed int64, p1, v1, p2, v2, p3, v3 float64) {
+		probs := []float64{p1, p2, p3}
+		values := []float64{v1, v2, v3}
+		// Repair the fuzzed table into a candidate: sort both columns,
+		// then let NewCDF decide. Tables it rejects are out of scope —
+		// the gate is about what validated tables can produce.
+		sort.Float64s(probs)
+		sort.Float64s(values)
+		c, err := NewCDF(probs, values)
+		if err != nil {
+			t.Skip()
+		}
+		lo, hi := c.Min(), c.Max()
+		src := newSplitmix(seed)
+		for i := 0; i < 500; i++ {
+			v := c.Quantile(src.float64())
+			if v < lo || v > hi {
+				t.Fatalf("Quantile left the support: %v outside [%v, %v] (table %v / %v)", v, lo, hi, probs, values)
+			}
+		}
+
+		// The same gate through a full CDFSource, when the support can
+		// serve as periods (positive).
+		if lo <= 0 {
+			return
+		}
+		srcCfg := DefaultConfig()
+		srcCfg.N = IntRange{Lo: 8, Hi: 16}
+		cs, err := NewCDFSource(c, c, []float64{0.5, 1})
+		if err != nil {
+			t.Fatalf("valid CDFs rejected by NewCDFSource: %v", err)
+		}
+		srcCfg.K = 2
+		ts := cs.Generate(&srcCfg, seed, 0)
+		for i := range ts.Tasks {
+			p := ts.Tasks[i].Period
+			if p < lo || p > hi {
+				t.Fatalf("task %d period %v outside loaded support [%v, %v]", i, p, lo, hi)
+			}
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("CDF-generated set invalid: %v", err)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package taskgen
+
+import (
+	"math"
+	"testing"
+)
+
+func testCDFSource(t testing.TB) *CDFSource {
+	t.Helper()
+	util := MustCDF([]float64{0.2, 0.6, 0.9, 1}, []float64{0.01, 0.05, 0.2, 0.6})
+	period := MustCDF([]float64{0.3, 0.7, 1}, []float64{10, 100, 1000})
+	s, err := NewCDFSource(util, period, []float64{0.6, 1})
+	if err != nil {
+		t.Fatalf("NewCDFSource: %v", err)
+	}
+	return s
+}
+
+// TestNewCDFSourceValidation pins the exact rejection messages of the
+// source-level checks layered on top of NewCDF.
+func TestNewCDFSourceValidation(t *testing.T) {
+	util := MustCDF([]float64{1}, []float64{0.5})
+	period := MustCDF([]float64{1}, []float64{100})
+	zeroMin := MustCDF([]float64{0.5, 1}, []float64{0, 100})
+	negUtil := MustCDF([]float64{0.5, 1}, []float64{-1, 0.5})
+	zeroUtil := MustCDF([]float64{1}, []float64{0})
+	cases := []struct {
+		name    string
+		util    *CDF
+		period  *CDF
+		critMix []float64
+		want    string
+	}{
+		{"nil util", nil, period, []float64{1}, "taskgen: cdf source: nil utilization CDF"},
+		{"nil period", util, nil, []float64{1}, "taskgen: cdf source: nil period CDF"},
+		{"zero period", util, zeroMin, []float64{1}, "taskgen: cdf source: period support must be positive, got min 0"},
+		{"negative util", negUtil, period, []float64{1}, "taskgen: cdf source: utilization support must be non-negative, got min -1"},
+		{"all-zero util", zeroUtil, period, []float64{1}, "taskgen: cdf source: utilization support must reach above 0, got max 0"},
+		{"empty mix", util, period, nil, "taskgen: cdf source: empty criticality mix"},
+		{"mix out of range", util, period, []float64{1.5}, "taskgen: cdf source: critMix[0] = 1.5 outside [0, 1]"},
+		{"mix decreasing", util, period, []float64{0.8, 0.5, 1}, "taskgen: cdf source: critMix not non-decreasing: critMix[1] = 0.5 < critMix[0] = 0.8"},
+		{"mix short of one", util, period, []float64{0.5, 0.9}, "taskgen: cdf source: last critMix entry must be 1, got 0.9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewCDFSource(tc.util, tc.period, tc.critMix)
+			if err == nil {
+				t.Fatal("accepted invalid source configuration")
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error message:\n got: %s\nwant: %s", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCDFSourceDeterministic checks the TaskSource addressing contract:
+// (cfg, baseSeed, idx) names one task universe bit for bit, independent
+// of call order and of which source instance serves it.
+func TestCDFSourceDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.M, cfg.K, cfg.NSU = 4, 2, 0.5
+	cfg.N = IntRange{Lo: 20, Hi: 40}
+
+	a := testCDFSource(t)
+	b := testCDFSource(t)
+	// Warm a with other indices so slab reuse is exercised.
+	a.Generate(&cfg, 2016, 7)
+	a.Generate(&cfg, 2016, 3)
+
+	for _, idx := range []int{0, 3, 11} {
+		got := a.Generate(&cfg, 2016, idx).Clone()
+		want := b.Generate(&cfg, 2016, idx)
+		if len(got.Tasks) != len(want.Tasks) {
+			t.Fatalf("idx %d: %d vs %d tasks", idx, len(got.Tasks), len(want.Tasks))
+		}
+		for i := range got.Tasks {
+			g, w := &got.Tasks[i], &want.Tasks[i]
+			if g.Period != w.Period || g.Crit != w.Crit || len(g.WCET) != len(w.WCET) {
+				t.Fatalf("idx %d task %d: %+v vs %+v", idx, i, g, w)
+			}
+			for k := range g.WCET {
+				if g.WCET[k] != w.WCET[k] {
+					t.Fatalf("idx %d task %d WCET[%d]: %v vs %v", idx, i, k, g.WCET[k], w.WCET[k])
+				}
+			}
+		}
+	}
+}
+
+// TestCDFSourceShape checks the protocol semantics: the aggregate
+// level-1 utilization lands on NSU*M (when no task hits the cap), every
+// period comes from the period support, criticalities honour the mix
+// bounds, and WCET vectors are monotone and period-capped.
+func TestCDFSourceShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.M, cfg.K, cfg.NSU = 4, 2, 0.5
+	cfg.N = IntRange{Lo: 30, Hi: 60}
+
+	s := testCDFSource(t)
+	for idx := 0; idx < 20; idx++ {
+		ts := s.Generate(&cfg, 1, idx)
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("idx %d: invalid set: %v", idx, err)
+		}
+		if n := len(ts.Tasks); n < cfg.N.Lo || n > cfg.N.Hi {
+			t.Fatalf("idx %d: n = %d outside [%d, %d]", idx, n, cfg.N.Lo, cfg.N.Hi)
+		}
+		sumU, capped := 0.0, false
+		for i := range ts.Tasks {
+			task := &ts.Tasks[i]
+			if task.Period < 10 || task.Period > 1000 {
+				t.Fatalf("idx %d task %d: period %v outside loaded support", idx, i, task.Period)
+			}
+			if task.Crit < 1 || task.Crit > cfg.K {
+				t.Fatalf("idx %d task %d: crit %d outside [1, %d]", idx, i, task.Crit, cfg.K)
+			}
+			for k := 1; k < len(task.WCET); k++ {
+				if task.WCET[k] < task.WCET[k-1] {
+					t.Fatalf("idx %d task %d: WCET not monotone: %v", idx, i, task.WCET)
+				}
+			}
+			if task.WCET[len(task.WCET)-1] > task.Period {
+				t.Fatalf("idx %d task %d: WCET %v exceeds period %v", idx, i, task.WCET[len(task.WCET)-1], task.Period)
+			}
+			if task.WCET[0] >= task.Period {
+				capped = true
+			}
+			sumU += task.WCET[0] / task.Period
+		}
+		if want := cfg.NSU * float64(cfg.M); !capped && math.Abs(sumU-want) > 1e-9 {
+			t.Fatalf("idx %d: level-1 utilization %v, want %v", idx, sumU, want)
+		}
+	}
+}
+
+// TestCDFSourceZeroAllocs proves the slab contract: steady-state
+// generation performs no heap allocations.
+func TestCDFSourceZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.M, cfg.K, cfg.NSU = 4, 2, 0.5
+	cfg.N = IntRange{Lo: 20, Hi: 40}
+	s := testCDFSource(t)
+	// Warm the slabs with the largest shape in play.
+	for idx := 0; idx < 8; idx++ {
+		s.Generate(&cfg, 9, idx)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		s.Generate(&cfg, 9, 4)
+	})
+	if avg != 0 {
+		t.Fatalf("CDFSource.Generate allocates %v per run, want 0", avg)
+	}
+}
+
+// TestCDFSourceCritFold checks that a trace mix with more levels than
+// cfg.K folds the excess levels into K instead of overflowing WCET
+// vectors.
+func TestCDFSourceCritFold(t *testing.T) {
+	util := MustCDF([]float64{1}, []float64{0.1})
+	period := MustCDF([]float64{1}, []float64{100})
+	s, err := NewCDFSource(util, period, []float64{0.3, 0.6, 0.8, 1})
+	if err != nil {
+		t.Fatalf("NewCDFSource: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.M, cfg.K, cfg.NSU = 2, 2, 0.4
+	cfg.N = IntRange{Lo: 50, Hi: 50}
+	ts := s.Generate(&cfg, 5, 0)
+	for i := range ts.Tasks {
+		if c := ts.Tasks[i].Crit; c < 1 || c > 2 {
+			t.Fatalf("task %d: crit %d not folded into [1, 2]", i, c)
+		}
+	}
+}

@@ -41,7 +41,7 @@ trap 'rm -f "$TMP"' EXIT
 echo "== bench: Fig1 sweep (10 iterations x 3, scored on the minimum)" >&2
 go test -run '^$' -bench '^BenchmarkFig1_NSU$' -benchtime 10x -count 3 -benchmem . | tee -a "$TMP"
 echo "== bench: partition fast path / online events / taskgen / sweep throughput" >&2
-go test -run '^$' -bench '^(BenchmarkPartition|BenchmarkPartitionLegacy|BenchmarkOnlineEvent|BenchmarkTaskGen|BenchmarkSweepThroughput)$' -benchmem . | tee -a "$TMP"
+go test -run '^$' -bench '^(BenchmarkPartition|BenchmarkPartitionLegacy|BenchmarkOnlineEvent|BenchmarkTaskGen|BenchmarkSweepThroughput|BenchmarkOnlineScenario)$' -benchmem . | tee -a "$TMP"
 
 # pick <pattern> <unit> — extracts the value preceding the given unit
 # token on the first benchmark line matching pattern.
@@ -70,6 +70,9 @@ SETS_PER_SEC=$(pick '^BenchmarkSweepThroughput' 'sets/s')
 EVENT_BATCH_NS=$(pick '^BenchmarkOnlineEvent/batch' 'ns/op')
 EVENT_INC_NS=$(pick '^BenchmarkOnlineEvent/incremental' 'ns/op')
 EVENT_INC_ALLOCS=$(pick '^BenchmarkOnlineEvent/incremental' 'allocs/op')
+SCENARIO_NS=$(pick '^BenchmarkOnlineScenario' 'ns/op')
+SCENARIO_ARRIVALS=$(pick '^BenchmarkOnlineScenario' 'arrivals/s')
+SCENARIO_ADMIT=$(pick '^BenchmarkOnlineScenario' 'admit_rate')
 
 SPEEDUP=$(awk -v a="$BASE_FIG1_NS" -v b="$FIG1_NS" 'BEGIN { printf "%.3f", a/b }')
 EVENT_SPEEDUP=$(awk -v a="$EVENT_BATCH_NS" -v b="$EVENT_INC_NS" 'BEGIN { if (b+0 > 0) printf "%.1f", a/b }')
@@ -99,7 +102,8 @@ cat > "$OUT" <<EOF
     "taskgen": {"ns_per_op": ${TASKGEN_NS:-null}, "allocs_per_op": ${TASKGEN_ALLOCS:-null}},
     "sweep_throughput_sets_per_sec": ${SETS_PER_SEC:-null},
     "online_event_batch": {"ns_per_op": ${EVENT_BATCH_NS:-null}},
-    "online_event_incremental": {"ns_per_op": ${EVENT_INC_NS:-null}, "allocs_per_op": ${EVENT_INC_ALLOCS:-null}}
+    "online_event_incremental": {"ns_per_op": ${EVENT_INC_NS:-null}, "allocs_per_op": ${EVENT_INC_ALLOCS:-null}},
+    "online_scenario": {"ns_per_op": ${SCENARIO_NS:-null}, "arrivals_per_sec": ${SCENARIO_ARRIVALS:-null}, "admit_rate": ${SCENARIO_ADMIT:-null}}
   },
   "fig1_speedup": ${SPEEDUP:-null},
   "incremental_event_speedup": ${EVENT_SPEEDUP:-null},
@@ -107,7 +111,8 @@ cat > "$OUT" <<EOF
     "fig1_speedup_min": ${FIG1_MIN},
     "partition_catpa_allocs_max": 0,
     "online_event_incremental_allocs_max": 0,
-    "incremental_event_speedup_min": 10.0
+    "incremental_event_speedup_min": 10.0,
+    "online_scenario_arrivals_per_sec_min": 100000
   }
 }
 EOF
